@@ -1,0 +1,227 @@
+// Command fedsu-bench regenerates the paper's tables and figures on the
+// emulated cluster. Each experiment prints the paper-style rows/series and
+// optionally writes CSVs for plotting.
+//
+// Usage:
+//
+//	fedsu-bench -exp all                 # everything, fast scale
+//	fedsu-bench -exp table1 -scale standard -out results/
+//	fedsu-bench -exp fig9 -rounds 120
+//
+// Experiments: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 all.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+
+	"fedsu/internal/exp"
+	"fedsu/internal/trace"
+)
+
+func main() {
+	// Deep conv models churn large transient im2col matrices; a tighter GC
+	// target keeps the resident set bounded on memory-constrained hosts.
+	debug.SetGCPercent(50)
+	var (
+		expName    = flag.String("exp", "all", "experiment id (fig1..fig10, table1, table2, all)")
+		scale      = flag.String("scale", "fast", "preset: fast or standard")
+		rounds     = flag.Int("rounds", 0, "override rounds")
+		clients    = flag.Int("clients", 0, "override client count")
+		outDir     = flag.String("out", "", "directory for CSV output")
+		seed       = flag.Int64("seed", 1, "random seed")
+		modelScale = flag.Int("modelscale", 0, "override model width divisor (1 = paper scale)")
+		light      = flag.Bool("light", false, "restrict the ablation and sensitivity sweeps to the CNN workload")
+	)
+	flag.Parse()
+
+	cfg := exp.FastConfig()
+	if *scale == "standard" {
+		cfg = exp.StandardConfig()
+	}
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	if *modelScale > 0 {
+		cfg.ModelScale = *modelScale
+	}
+	cfg.Seed = *seed
+	cfg.Verbose = os.Stderr
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	ids := strings.Split(*expName, ",")
+	if *expName == "all" {
+		ids = []string{"fig1", "fig2", "table1+fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"}
+	}
+	for _, id := range ids {
+		if err := runExperiment(ctx, cfg, id, *outDir, *light); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+	}
+}
+
+func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light bool) error {
+	sweepSet := []exp.Workload{exp.CNNWorkload(), exp.DenseNetWorkload()}
+	if light {
+		sweepSet = []exp.Workload{exp.CNNWorkload()}
+	}
+	fmt.Printf("\n=== %s ===\n", id)
+	switch id {
+	case "fig1":
+		res, err := exp.RunFig1(ctx, cfg, 2)
+		if err != nil {
+			return err
+		}
+		for name, series := range res.Trajectories {
+			fmt.Printf("Fig 1 (%s): parameter trajectories\n", name)
+			if err := trace.AsciiPlot(os.Stdout, 72, 14, series...); err != nil {
+				return err
+			}
+			if err := writeCSV(outDir, "fig1_"+name+".csv", series...); err != nil {
+				return err
+			}
+		}
+	case "fig2":
+		res, err := exp.RunFig2(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+		if res.Instantaneous != nil {
+			if err := trace.AsciiPlot(os.Stdout, 72, 10, res.Instantaneous); err != nil {
+				return err
+			}
+			if err := writeCSV(outDir, "fig2_instantaneous.csv", res.Instantaneous); err != nil {
+				return err
+			}
+		}
+		for name, cdf := range res.CDFs {
+			if err := writeCSV(outDir, "fig2_cdf_"+name+".csv", cdf); err != nil {
+				return err
+			}
+		}
+	case "table1", "fig5", "table1+fig5":
+		ws := exp.Workloads()
+		res, err := exp.RunEndToEnd(ctx, cfg, ws, exp.Schemes())
+		if err != nil {
+			return err
+		}
+		if err := res.Report(os.Stdout, ws); err != nil {
+			return err
+		}
+		for _, w := range ws {
+			acc, ratio := res.Fig5Series(w.Name)
+			fmt.Printf("\nFig 5 (%s): time-to-accuracy\n", w.Name)
+			if err := trace.AsciiPlot(os.Stdout, 72, 14, acc...); err != nil {
+				return err
+			}
+			if err := writeCSV(outDir, "fig5_acc_"+w.Name+".csv", acc...); err != nil {
+				return err
+			}
+			if err := writeCSV(outDir, "fig5_ratio_"+w.Name+".csv", ratio...); err != nil {
+				return err
+			}
+		}
+	case "fig6":
+		res, err := exp.RunFig6(ctx, cfg, exp.CNNWorkload())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Fig 6 (%s, param %d): FedSU vs FedAvg trajectory\n", res.Workload, res.ParamIndex)
+		fmt.Printf("  speculative periods start=%v end=%v\n", res.SpecStart, res.SpecEnd)
+		fmt.Printf("  normalized approximation error: %.4f\n", res.ApproximationError())
+		if err := trace.AsciiPlot(os.Stdout, 72, 14, res.FedSU, res.FedAvg); err != nil {
+			return err
+		}
+		return writeCSV(outDir, "fig6_"+res.Workload+".csv", res.FedSU, res.FedAvg)
+	case "fig7":
+		fig7WS := exp.Workloads()
+		if light {
+			fig7WS = sweepSet
+		}
+		res, err := exp.RunFig7(ctx, cfg, fig7WS)
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+		for name, cdf := range res.CDFs {
+			if err := writeCSV(outDir, "fig7_cdf_"+name+".csv", cdf); err != nil {
+				return err
+			}
+		}
+	case "fig8":
+		ws := sweepSet
+		res, err := exp.RunFig8(ctx, cfg, ws)
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+		for _, w := range ws {
+			var acc []*trace.Series
+			for _, v := range exp.Variants() {
+				acc = append(acc, res.Accuracy[w.Name][v])
+			}
+			if err := writeCSV(outDir, "fig8_acc_"+w.Name+".csv", acc...); err != nil {
+				return err
+			}
+		}
+	case "fig9", "fig10":
+		ws := sweepSet
+		var res *exp.SweepResult
+		var err error
+		if id == "fig9" {
+			res, err = exp.RunFig9(ctx, cfg, ws)
+		} else {
+			res, err = exp.RunFig10(ctx, cfg, ws)
+		}
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+	case "table2":
+		// Per-round compute baselines from the netem calibration.
+		base := map[string]float64{}
+		for _, w := range exp.Workloads() {
+			base[w.Name] = 1.2e-7 * float64(w.WireParams) * float64(cfg.LocalIters)
+		}
+		res, err := exp.RunTable2(ctx, cfg, exp.Workloads(), base)
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, all)")
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, series ...*trace.Series) error {
+	if dir == "" || len(series) == 0 {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteCSVMulti(f, series...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsu-bench:", err)
+	os.Exit(1)
+}

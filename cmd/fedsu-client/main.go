@@ -1,0 +1,95 @@
+// Command fedsu-client joins a fedsu-server coordinator over TCP and
+// trains locally with the selected synchronization strategy. Every client
+// of a session must use the same workload, scale, seed, and scheme.
+//
+// Usage:
+//
+//	fedsu-client -addr host:7070 -workload cnn -scheme fedsu -rounds 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"fedsu"
+	"fedsu/internal/data"
+	"fedsu/internal/exp"
+	"fedsu/internal/fl"
+	"fedsu/internal/opt"
+	"fedsu/internal/sparse"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "coordinator address")
+		name     = flag.String("name", "client", "client label")
+		workload = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
+		scheme   = flag.String("scheme", "fedsu", "sync strategy: "+strings.Join(fedsu.StrategyNames(), ", "))
+		rounds   = flag.Int("rounds", 60, "training rounds")
+		iters    = flag.Int("iters", 5, "local iterations per round")
+		batch    = flag.Int("batch", 8, "mini-batch size")
+		samples  = flag.Int("samples", 1024, "synthetic dataset size (shared across the fleet)")
+		scale    = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the server)")
+		seed     = flag.Int64("seed", 1, "fleet-shared seed")
+	)
+	flag.Parse()
+
+	w, err := exp.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	conn, err := fedsu.DialCoordinator(*addr, *name)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	id := conn.ClientID()
+	fmt.Printf("fedsu-client: joined as client %d of %d\n", id, conn.NumClients())
+
+	model := w.Model(w.EffectiveScale(*scale), *seed+97)
+	if model.Size() != conn.ModelSize() {
+		fatal(fmt.Errorf("model size %d does not match session %d (check -workload/-scale/-seed)",
+			model.Size(), conn.ModelSize()))
+	}
+
+	// Every client generates the same dataset from the shared seed, then
+	// takes its Dirichlet shard by id — the deterministic analogue of each
+	// device owning private data.
+	ds := w.Dataset(*samples, *seed+31)
+	shards := data.PartitionDirichlet(ds, conn.NumClients(), 1.0, *seed)
+	shard := shards[id]
+
+	factory, err := fl.StrategyFactoryWith(*scheme, fedsu.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	syncer := factory(id, model.Size(), conn)
+	optimizer := opt.NewSGD(w.LR, opt.WithWeightDecay(0.001))
+	client := fl.NewClient(id, model, optimizer, shard, syncer, *seed+int64(id)*7919)
+
+	var total sparse.Traffic
+	rng := rand.New(rand.NewSource(*seed + int64(id)))
+	_ = rng
+	for k := 0; k < *rounds; k++ {
+		loss := client.TrainLocal(*iters, *batch)
+		tr, err := client.SyncRound(k, true)
+		if err != nil {
+			fatal(err)
+		}
+		total.Add(tr)
+		fmt.Printf("round %3d: train_loss=%.4f synced=%d/%d up=%dB\n",
+			k, loss, tr.SyncedParams, tr.TotalParams, tr.UpBytes)
+	}
+	fmt.Printf("done: total up=%.2fMB down=%.2fMB mean sparsification=%.1f%%\n",
+		float64(total.UpBytes)/1e6, float64(total.DownBytes)/1e6,
+		100*total.SparsificationRatio())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsu-client:", err)
+	os.Exit(1)
+}

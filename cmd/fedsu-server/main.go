@@ -1,0 +1,55 @@
+// Command fedsu-server runs the TCP aggregation coordinator for a real
+// (non-emulated) federated deployment. Start it first, then launch
+// fedsu-client processes pointing at its address.
+//
+// Usage:
+//
+//	fedsu-server -addr :7070 -clients 4 -workload cnn -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"fedsu"
+	"fedsu/internal/exp"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		clients  = flag.Int("clients", 2, "expected number of clients")
+		workload = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
+		scale    = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the clients)")
+		seed     = flag.Int64("seed", 1, "model seed (must match the clients)")
+	)
+	flag.Parse()
+
+	w, err := exp.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	size := w.Model(w.EffectiveScale(*scale), *seed+97).Size()
+
+	l, err := fedsu.StartCoordinator(*addr, *clients, size)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params)\n",
+		*clients, l.Addr(), *workload, size)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	l.Close()
+	fmt.Println("fedsu-server: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fedsu-server:", err)
+	os.Exit(1)
+}

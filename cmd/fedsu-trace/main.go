@@ -1,0 +1,152 @@
+// Command fedsu-trace is the parameter-trajectory microscope: it replays
+// the paper's motivational measurements (Figs. 1 and 2) and the FedSU
+// microscopic studies (Figs. 6 and 7) on the emulated cluster, printing
+// ASCII plots and optional CSVs.
+//
+// Usage:
+//
+//	fedsu-trace -fig 1
+//	fedsu-trace -fig 6 -workload cnn -rounds 80 -out results/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fedsu/internal/exp"
+	"fedsu/internal/trace"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 1, "figure to regenerate: 1, 2, 6, or 7")
+		workload = flag.String("workload", "cnn", "workload for fig 6")
+		rounds   = flag.Int("rounds", 0, "override rounds")
+		clients  = flag.Int("clients", 0, "override clients")
+		outDir   = flag.String("out", "", "directory for CSV output")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := exp.FastConfig()
+	cfg.Seed = *seed
+	if *rounds > 0 {
+		cfg.Rounds = *rounds
+	}
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	ctx := context.Background()
+
+	var err error
+	switch *fig {
+	case 1:
+		err = runFig1(ctx, cfg, *outDir)
+	case 2:
+		err = runFig2(ctx, cfg, *outDir)
+	case 6:
+		err = runFig6(ctx, cfg, *workload, *outDir)
+	case 7:
+		err = runFig7(ctx, cfg, *outDir)
+	default:
+		err = fmt.Errorf("figure %d is not a trace figure (want 1, 2, 6, or 7)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedsu-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func runFig1(ctx context.Context, cfg exp.Config, out string) error {
+	res, err := exp.RunFig1(ctx, cfg, 2)
+	if err != nil {
+		return err
+	}
+	for name, series := range res.Trajectories {
+		fmt.Printf("Fig 1 (%s): sampled parameter trajectories\n", name)
+		if err := trace.AsciiPlot(os.Stdout, 72, 14, series...); err != nil {
+			return err
+		}
+		if err := save(out, "fig1_"+name+".csv", series...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig2(ctx context.Context, cfg exp.Config, out string) error {
+	res, err := exp.RunFig2(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	if res.Instantaneous != nil {
+		fmt.Println("Fig 2a: instantaneous normalized difference (CNN)")
+		if err := trace.AsciiPlot(os.Stdout, 72, 10, res.Instantaneous); err != nil {
+			return err
+		}
+	}
+	for name, cdf := range res.CDFs {
+		fmt.Printf("Fig 2b: CDF (%s)\n", name)
+		if err := trace.AsciiPlot(os.Stdout, 72, 10, cdf); err != nil {
+			return err
+		}
+		if err := save(out, "fig2_cdf_"+name+".csv", cdf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig6(ctx context.Context, cfg exp.Config, workload, out string) error {
+	w, err := exp.WorkloadByName(workload)
+	if err != nil {
+		return err
+	}
+	res, err := exp.RunFig6(ctx, cfg, w)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 6 (%s, param %d): speculative periods start=%v end=%v, approx err %.4f\n",
+		res.Workload, res.ParamIndex, res.SpecStart, res.SpecEnd, res.ApproximationError())
+	if err := trace.AsciiPlot(os.Stdout, 72, 14, res.FedSU, res.FedAvg); err != nil {
+		return err
+	}
+	return save(out, "fig6_"+res.Workload+".csv", res.FedSU, res.FedAvg)
+}
+
+func runFig7(ctx context.Context, cfg exp.Config, out string) error {
+	res, err := exp.RunFig7(ctx, cfg, exp.Workloads())
+	if err != nil {
+		return err
+	}
+	res.Report(os.Stdout)
+	for name, cdf := range res.CDFs {
+		fmt.Printf("Fig 7: CDF of linear fractions (%s)\n", name)
+		if err := trace.AsciiPlot(os.Stdout, 72, 10, cdf); err != nil {
+			return err
+		}
+		if err := save(out, "fig7_cdf_"+name+".csv", cdf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func save(dir, name string, series ...*trace.Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteCSVMulti(f, series...)
+}

@@ -1,0 +1,49 @@
+package fedsu_test
+
+import (
+	"fmt"
+
+	"fedsu"
+)
+
+// passthroughAgg treats a single client as the whole fleet: the mean over
+// one contributor is the contribution itself.
+type passthroughAgg struct{}
+
+func (passthroughAgg) AggregateModel(_, _ int, v []float64) ([]float64, error) { return v, nil }
+func (passthroughAgg) AggregateError(_, _ int, v []float64) ([]float64, error) { return v, nil }
+
+// ExampleNewManager shows the standalone FedSU manager diagnosing a
+// linearly-evolving parameter and switching it to speculative updating.
+func ExampleNewManager() {
+	mgr, err := fedsu.NewManager(0, 2, passthroughAgg{}, fedsu.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	for round := 0; round < 10; round++ {
+		// Parameter 0 moves linearly (slope 0.5); parameter 1 alternates.
+		local := []float64{0.5 * float64(round+1), float64(round%2*2 - 1)}
+		if _, _, err := mgr.Sync(round, local, true); err != nil {
+			panic(err)
+		}
+	}
+	mask := mgr.PredictableMask()
+	fmt.Printf("linear parameter predictable: %v\n", mask[0])
+	fmt.Printf("oscillating parameter predictable: %v\n", mask[1])
+	// Output:
+	// linear parameter predictable: true
+	// oscillating parameter predictable: false
+}
+
+// ExampleTraffic shows the byte-level savings accounting.
+func ExampleTraffic() {
+	tr := fedsu.Traffic{
+		UpBytes:      100*4 + 64,
+		DownBytes:    100*4 + 64,
+		SyncedParams: 100,
+		TotalParams:  400,
+	}
+	fmt.Printf("sparsification ratio: %.2f\n", tr.SparsificationRatio())
+	// Output:
+	// sparsification ratio: 0.72
+}

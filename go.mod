@@ -1,0 +1,3 @@
+module fedsu
+
+go 1.22

@@ -1,0 +1,12 @@
+package ckpt
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// encodeRaw serializes a checkpoint without normalizing the version; it
+// exists so tests can construct invalid checkpoints.
+func encodeRaw(w io.Writer, c *Checkpoint) error {
+	return gob.NewEncoder(w).Encode(c)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariantUnknownString(t *testing.T) {
+	v := Variant(9)
+	if got := v.String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown variant String = %q", got)
+	}
+}
+
+func TestLinearFractionsBeforeAnyRound(t *testing.T) {
+	m, _ := newTestManager(t, 3, DefaultOptions())
+	fr := m.LinearFractions()
+	for i, f := range fr {
+		if f != 0 {
+			t.Errorf("fraction[%d] = %v before any round", i, f)
+		}
+	}
+}
+
+func TestOscillationRatioUnseen(t *testing.T) {
+	m, _ := newTestManager(t, 1, DefaultOptions())
+	if got := m.OscillationRatio(0); got != 1 {
+		t.Errorf("unseen ratio = %v, want 1", got)
+	}
+}
+
+func TestPredictableMaskLength(t *testing.T) {
+	m, _ := newTestManager(t, 5, DefaultOptions())
+	if got := len(m.PredictableMask()); got != 5 {
+		t.Errorf("mask length = %d", got)
+	}
+	if m.Name() != "fedsu" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestFactoryPanicsOnBadOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Factory with invalid options must panic at build time")
+		}
+	}()
+	bad := DefaultOptions()
+	bad.TR = -1
+	Factory(bad)(0, 3, &identityAgg{})
+}

@@ -1,0 +1,82 @@
+package data
+
+import "testing"
+
+func TestWithNoiseAndSeedOptions(t *testing.T) {
+	quiet := EMNIST(WithSamples(16), WithNoise(0), WithSeed(5))
+	loud := EMNIST(WithSamples(16), WithNoise(1), WithSeed(5))
+	// Same class prototypes and jitter draws differ only by noise; the loud
+	// variant must differ from the quiet one pixel-wise.
+	xq, _ := quiet.Batch([]int{0})
+	xl, _ := loud.Batch([]int{0})
+	same := true
+	for i := range xq.Data() {
+		if xq.Data()[i] != xl.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("noise option had no effect")
+	}
+}
+
+func TestLabelHistogramCountsAll(t *testing.T) {
+	d := Synthesize(SynthConfig{
+		Name: "h", Channels: 1, Size: 4, Classes: 3,
+		Samples: 30, Noise: 0.1, Seed: 2,
+	})
+	s := NewSubset(d, []int{0, 1, 2, 3, 4, 5})
+	h := s.LabelHistogram()
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != 6 {
+		t.Errorf("histogram total = %d, want 6", total)
+	}
+	if len(h) != 3 {
+		t.Errorf("histogram classes = %d, want 3", len(h))
+	}
+}
+
+func TestSynthesizePanicsOnBadConfig(t *testing.T) {
+	bad := []SynthConfig{
+		{Classes: 1, Samples: 10, Size: 4, Channels: 1},
+		{Classes: 2, Samples: 0, Size: 4, Channels: 1},
+		{Classes: 2, Samples: 10, Size: 0, Channels: 1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			Synthesize(cfg)
+		}()
+	}
+}
+
+func TestPartitionDirichletPanicsOnBadArgs(t *testing.T) {
+	d := Synthesize(SynthConfig{
+		Name: "p", Channels: 1, Size: 4, Classes: 2,
+		Samples: 8, Noise: 0.1, Seed: 1,
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero clients must panic")
+			}
+		}()
+		PartitionDirichlet(d, 0, 1, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("non-positive alpha must panic")
+			}
+		}()
+		PartitionDirichlet(d, 2, 0, 1)
+	}()
+}

@@ -1,0 +1,57 @@
+package data
+
+// This file defines the paper's three workloads as synthetic stand-ins with
+// the real datasets' tensor geometry and label-space size. See the package
+// comment and DESIGN.md for the substitution rationale.
+
+// StandInOpt adjusts a stand-in dataset build.
+type StandInOpt func(*SynthConfig)
+
+// WithSamples overrides the total sample count (default 4096).
+func WithSamples(n int) StandInOpt {
+	return func(c *SynthConfig) { c.Samples = n }
+}
+
+// WithSeed overrides the generation seed.
+func WithSeed(seed int64) StandInOpt {
+	return func(c *SynthConfig) { c.Seed = seed }
+}
+
+// WithNoise overrides the pixel-noise standard deviation.
+func WithNoise(sigma float64) StandInOpt {
+	return func(c *SynthConfig) { c.Noise = sigma }
+}
+
+func build(cfg SynthConfig, opts []StandInOpt) *Dataset {
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Synthesize(cfg)
+}
+
+// EMNIST builds the EMNIST stand-in: 28×28 grayscale, 47 balanced classes
+// (the EMNIST "balanced" split used with the paper's CNN).
+func EMNIST(opts ...StandInOpt) *Dataset {
+	return build(SynthConfig{
+		Name: "emnist", Channels: 1, Size: 28, Classes: 47,
+		Samples: 4096, Noise: 0.25, Jitter: 2, Seed: 101,
+	}, opts)
+}
+
+// FMNIST builds the Fashion-MNIST stand-in: 28×28 grayscale, 10 classes
+// (the paper's ResNet-18 workload).
+func FMNIST(opts ...StandInOpt) *Dataset {
+	return build(SynthConfig{
+		Name: "fmnist", Channels: 1, Size: 28, Classes: 10,
+		Samples: 4096, Noise: 0.25, Jitter: 2, Seed: 202,
+	}, opts)
+}
+
+// CIFAR10 builds the CIFAR-10 stand-in: 32×32 RGB, 10 classes (the paper's
+// DenseNet-121 workload).
+func CIFAR10(opts ...StandInOpt) *Dataset {
+	return build(SynthConfig{
+		Name: "cifar10", Channels: 3, Size: 32, Classes: 10,
+		Samples: 4096, Noise: 0.3, Jitter: 2, Seed: 303,
+	}, opts)
+}

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// microConfig is the smallest configuration that still exercises every
+// experiment code path.
+func microConfig() Config {
+	cfg := FastConfig()
+	cfg.Clients = 3
+	cfg.Rounds = 8
+	cfg.LocalIters = 2
+	cfg.BatchSize = 4
+	cfg.Samples = 188 // exercises uneven shard sizes
+	cfg.ModelScale = 32
+	cfg.EvalEvery = 2
+	return cfg
+}
+
+func TestWorkloads(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 3 {
+		t.Fatalf("Workloads = %d, want 3", len(ws))
+	}
+	for _, w := range ws {
+		m := w.Model(32, 1)
+		if m.Size() <= 0 {
+			t.Errorf("%s: empty model", w.Name)
+		}
+		ds := w.Dataset(64, 1)
+		if ds.Len() != 64 {
+			t.Errorf("%s: dataset len %d", w.Name, ds.Len())
+		}
+		if w.WireParams < 100_000 {
+			t.Errorf("%s: wire params %d suspiciously small", w.Name, w.WireParams)
+		}
+	}
+	if _, err := WorkloadByName("cnn"); err != nil {
+		t.Error(err)
+	}
+	if _, err := WorkloadByName("gpt"); err == nil {
+		t.Error("unknown workload must error")
+	}
+}
+
+func TestRunOneAllSchemes(t *testing.T) {
+	cfg := microConfig()
+	w := CNNWorkload()
+	for _, s := range append(Schemes(), "fedsu-v1", "fedsu-v2") {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			t.Parallel()
+			run, err := RunOne(context.Background(), cfg, w, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(run.Stats) != cfg.Rounds {
+				t.Fatalf("stats = %d rounds", len(run.Stats))
+			}
+			if run.MeanRoundTime() <= 0 {
+				t.Error("mean round time must be positive")
+			}
+			secs, rounds, _ := run.TimeToAccuracy(0.99)
+			if secs <= 0 || rounds <= 0 {
+				t.Error("TimeToAccuracy must report totals even when unreached")
+			}
+		})
+	}
+}
+
+func TestEndToEndAndTable1(t *testing.T) {
+	cfg := microConfig()
+	ws := []Workload{CNNWorkload()}
+	res, err := RunEndToEnd(context.Background(), cfg, ws, Schemes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := res.Report(&b, ws); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "fedsu", "apf", "cmfl", "fedavg", "sparsification"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	acc, ratio := res.Fig5Series("cnn")
+	if len(acc) != 4 {
+		t.Errorf("Fig5 accuracy series = %d, want 4", len(acc))
+	}
+	if len(ratio) != 2 {
+		t.Errorf("Fig5 ratio series = %d, want 2 (apf + fedsu)", len(ratio))
+	}
+}
+
+func TestFig1(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 4
+	res, err := RunFig1(context.Background(), cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cnn", "densenet121"} {
+		series := res.Trajectories[name]
+		if len(series) != 2 {
+			t.Fatalf("%s: %d series, want 2", name, len(series))
+		}
+		for _, s := range series {
+			if s.Len() != cfg.Rounds {
+				t.Errorf("%s: series len %d, want %d", name, s.Len(), cfg.Rounds)
+			}
+		}
+	}
+}
+
+func TestFig2(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 6
+	res, err := RunFig2(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instantaneous == nil || res.Instantaneous.Len() == 0 {
+		t.Fatal("missing instantaneous series")
+	}
+	for _, name := range []string{"cnn", "densenet121"} {
+		cdf := res.CDFs[name]
+		if cdf == nil || cdf.Len() == 0 {
+			t.Fatalf("%s: missing CDF", name)
+		}
+		// CDF y must be monotone from ~0 to 1.
+		if cdf.Y[len(cdf.Y)-1] != 1 {
+			t.Errorf("%s: CDF does not reach 1", name)
+		}
+	}
+	var b bytes.Buffer
+	res.Report(&b)
+	if !strings.Contains(b.String(), "normalized difference") {
+		t.Error("report missing summary")
+	}
+}
+
+func TestFig6(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 16
+	res, err := RunFig6(context.Background(), cfg, CNNWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FedSU.Len() != cfg.Rounds || res.FedAvg.Len() != cfg.Rounds {
+		t.Fatalf("trajectory lengths %d/%d, want %d", res.FedSU.Len(), res.FedAvg.Len(), cfg.Rounds)
+	}
+	if e := res.ApproximationError(); e < 0 {
+		t.Errorf("approximation error = %v", e)
+	}
+}
+
+func TestFig7(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 12
+	res, err := RunFig7(context.Background(), cfg, []Workload{CNNWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf := res.CDFs["cnn"]
+	if cdf == nil || cdf.Len() == 0 {
+		t.Fatal("missing CDF")
+	}
+	share := res.ShareLinearMajority["cnn"]
+	if share < 0 || share > 1 {
+		t.Errorf("share = %v outside [0,1]", share)
+	}
+	var b bytes.Buffer
+	res.Report(&b)
+	if !strings.Contains(b.String(), "linear") {
+		t.Error("report missing summary")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	cfg := microConfig()
+	cfg.FedSU.FixedPeriod = 4
+	cfg.FedSU.LaunchProb = 0.05
+	res, err := RunFig8(context.Background(), cfg, []Workload{CNNWorkload()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range Variants() {
+		if res.Accuracy["cnn"][v] == nil {
+			t.Fatalf("missing accuracy series for %s", v)
+		}
+	}
+	var b bytes.Buffer
+	res.Report(&b)
+	if !strings.Contains(b.String(), "fedsu-v2") {
+		t.Error("report missing variant rows")
+	}
+}
+
+func TestFig9And10(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 5
+	ws := []Workload{CNNWorkload()}
+	r9, err := RunFig9(context.Background(), cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9.Values) != 4 || r9.Param != "TR" {
+		t.Errorf("Fig9 sweep malformed: %+v", r9.Values)
+	}
+	r10, err := RunFig10(context.Background(), cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r10.Values) != 4 || r10.Param != "TS" {
+		t.Errorf("Fig10 sweep malformed: %+v", r10.Values)
+	}
+	var b bytes.Buffer
+	r9.Report(&b)
+	r10.Report(&b)
+	if !strings.Contains(b.String(), "TR") || !strings.Contains(b.String(), "TS") {
+		t.Error("sweep reports missing parameter labels")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	cfg := microConfig()
+	res, err := RunTable2(context.Background(), cfg, []Workload{CNNWorkload()},
+		map[string]float64{"cnn": 7.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.MemoryInflationMB <= 0 {
+		t.Error("memory inflation must be positive")
+	}
+	if row.MemoryInflationRatio <= 0 || row.MemoryInflationRatio > 0.5 {
+		t.Errorf("memory ratio = %v, want small positive", row.MemoryInflationRatio)
+	}
+	if row.ComputeInflationSec < 0 {
+		t.Error("compute inflation negative")
+	}
+	var b bytes.Buffer
+	res.Report(&b)
+	if !strings.Contains(b.String(), "Table II") {
+		t.Error("report missing title")
+	}
+}

@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"context"
+	"testing"
+)
+
+func TestLSTMWorkloadRuns(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 4
+	w := LSTMWorkload()
+	run, err := RunOne(context.Background(), cfg, w, "fedsu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Stats) != 4 {
+		t.Fatalf("stats = %d rounds", len(run.Stats))
+	}
+	if w.EffectiveLR() != 0.05 {
+		t.Errorf("lstm EmuLR = %v", w.EffectiveLR())
+	}
+	if _, err := WorkloadByName("lstm"); err != nil {
+		t.Error("lstm must resolve by name")
+	}
+	if len(AllWorkloads()) != 4 {
+		t.Errorf("AllWorkloads = %d, want 4", len(AllWorkloads()))
+	}
+	if len(Workloads()) != 3 {
+		t.Errorf("paper Workloads = %d, must stay 3", len(Workloads()))
+	}
+}

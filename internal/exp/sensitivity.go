@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fedsu/internal/trace"
+)
+
+// SweepResult holds one hyper-parameter sensitivity sweep (Fig. 9 for T_ℛ,
+// Fig. 10 for T_𝒮).
+type SweepResult struct {
+	// Param is "TR" or "TS".
+	Param string
+	// Values are the swept threshold values.
+	Values []float64
+	// Accuracy and Ratio map workload → threshold label → series.
+	Accuracy map[string]map[string]*trace.Series
+	Ratio    map[string]map[string]*trace.Series
+	// FinalAccuracy and MeanRatio summarize each cell.
+	FinalAccuracy map[string]map[string]float64
+	MeanRatio     map[string]map[string]float64
+}
+
+// Fig9Thresholds are the paper's T_ℛ sweep values.
+func Fig9Thresholds() []float64 { return []float64{0.1, 0.01, 0.001, 0.0001} }
+
+// Fig10Thresholds are the paper's T_𝒮 sweep values.
+func Fig10Thresholds() []float64 { return []float64{0.1, 1, 10, 100} }
+
+// RunFig9 sweeps the linearity-diagnosis threshold T_ℛ.
+func RunFig9(ctx context.Context, cfg Config, workloads []Workload) (*SweepResult, error) {
+	return runSweep(ctx, cfg, workloads, "TR", Fig9Thresholds())
+}
+
+// RunFig10 sweeps the error-feedback threshold T_𝒮.
+func RunFig10(ctx context.Context, cfg Config, workloads []Workload) (*SweepResult, error) {
+	return runSweep(ctx, cfg, workloads, "TS", Fig10Thresholds())
+}
+
+func runSweep(ctx context.Context, cfg Config, workloads []Workload, param string, values []float64) (*SweepResult, error) {
+	res := &SweepResult{
+		Param:         param,
+		Values:        values,
+		Accuracy:      map[string]map[string]*trace.Series{},
+		Ratio:         map[string]map[string]*trace.Series{},
+		FinalAccuracy: map[string]map[string]float64{},
+		MeanRatio:     map[string]map[string]float64{},
+	}
+	for _, w := range workloads {
+		res.Accuracy[w.Name] = map[string]*trace.Series{}
+		res.Ratio[w.Name] = map[string]*trace.Series{}
+		res.FinalAccuracy[w.Name] = map[string]float64{}
+		res.MeanRatio[w.Name] = map[string]float64{}
+		for _, v := range values {
+			c := cfg
+			switch param {
+			case "TR":
+				c.FedSU.TR = v
+			case "TS":
+				c.FedSU.TS = v
+			default:
+				return nil, fmt.Errorf("exp: unknown sweep parameter %q", param)
+			}
+			label := fmt.Sprintf("%s=%g", param, v)
+			run, err := RunOne(ctx, c, w, "fedsu")
+			if err != nil {
+				return nil, err
+			}
+			acc := trace.NewSeries(label, "time_s", "accuracy")
+			ratio := trace.NewSeries(label, "time_s", "sparsification_ratio")
+			for _, st := range run.Stats {
+				if st.Accuracy >= 0 {
+					acc.Add(st.SimTime, st.Accuracy)
+				}
+				ratio.Add(st.SimTime, st.SparsificationRatio)
+			}
+			res.Accuracy[w.Name][label] = acc
+			res.Ratio[w.Name][label] = ratio
+			res.FinalAccuracy[w.Name][label] = acc.LastY()
+			res.MeanRatio[w.Name][label] = run.MeanSparsification()
+		}
+	}
+	return res, nil
+}
+
+// Report prints the sweep summary table.
+func (r *SweepResult) Report(w io.Writer) {
+	t := trace.NewTable(
+		fmt.Sprintf("Sensitivity to %s", r.Param),
+		"Model", r.Param, "Final Acc", "Mean Sparsification")
+	for name := range r.FinalAccuracy {
+		for _, v := range r.Values {
+			label := fmt.Sprintf("%s=%g", r.Param, v)
+			t.AddRow(name, fmt.Sprintf("%g", v),
+				r.FinalAccuracy[name][label],
+				fmt.Sprintf("%.1f%%", 100*r.MeanRatio[name][label]))
+		}
+	}
+	t.Render(w)
+}

@@ -1,0 +1,116 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"fedsu/internal/trace"
+)
+
+// Schemes returns the paper's end-to-end comparison set in Table I order.
+func Schemes() []string { return []string{"fedsu", "apf", "cmfl", "fedavg"} }
+
+// EndToEndResult bundles the runs behind Table I and Fig. 5.
+type EndToEndResult struct {
+	Cfg  Config
+	Runs map[string]map[string]*Run // workload → scheme → run
+}
+
+// RunEndToEnd executes every (workload, scheme) pair of the paper's
+// end-to-end evaluation. The same result feeds Table I and Fig. 5.
+func RunEndToEnd(ctx context.Context, cfg Config, workloads []Workload, schemes []string) (*EndToEndResult, error) {
+	res := &EndToEndResult{Cfg: cfg, Runs: map[string]map[string]*Run{}}
+	for _, w := range workloads {
+		res.Runs[w.Name] = map[string]*Run{}
+		for _, s := range schemes {
+			r, err := RunOne(ctx, cfg, w, s)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs[w.Name][s] = r
+		}
+	}
+	return res, nil
+}
+
+// Table1 renders the time-to-target-accuracy comparison: per-round time,
+// number of rounds, and total time per (model, scheme) — the paper's
+// Table I.
+func (r *EndToEndResult) Table1(workloads []Workload) *trace.Table {
+	t := trace.NewTable(
+		"Table I: time to reach the target accuracy",
+		"Model", "Target", "Scheme", "Per-round Time (s)", "# of Rounds", "Total Time (h)", "Reached",
+	)
+	for _, w := range workloads {
+		for _, s := range Schemes() {
+			run, ok := r.Runs[w.Name][s]
+			if !ok {
+				continue
+			}
+			secs, rounds, reached := run.TimeToAccuracy(w.TargetAccuracy)
+			t.AddRow(
+				w.Name,
+				fmt.Sprintf("%.2f", w.TargetAccuracy),
+				s,
+				secs/float64(rounds),
+				rounds,
+				secs/3600,
+				reached,
+			)
+		}
+	}
+	return t
+}
+
+// Fig5Series extracts the time-to-accuracy curves and (for apf/fedsu) the
+// instantaneous sparsification-ratio curves of one workload, the content of
+// Fig. 5.
+func (r *EndToEndResult) Fig5Series(workload string) (acc, ratio []*trace.Series) {
+	for _, s := range Schemes() {
+		run, ok := r.Runs[workload][s]
+		if !ok {
+			continue
+		}
+		as := trace.NewSeries(s, "time_s", "accuracy")
+		for _, st := range run.Stats {
+			if st.Accuracy >= 0 {
+				as.Add(st.SimTime, st.Accuracy)
+			}
+		}
+		acc = append(acc, as)
+		if s == "apf" || s == "fedsu" {
+			rs := trace.NewSeries(s+"-ratio", "time_s", "sparsification_ratio")
+			for _, st := range run.Stats {
+				rs.Add(st.SimTime, st.SparsificationRatio)
+			}
+			ratio = append(ratio, rs)
+		}
+	}
+	return acc, ratio
+}
+
+// Report writes Table I, the per-workload Fig. 5 summaries, and the FedSU
+// speedup factors versus the second-best scheme.
+func (r *EndToEndResult) Report(w io.Writer, workloads []Workload) error {
+	if err := r.Table1(workloads).Render(w); err != nil {
+		return err
+	}
+	for _, wl := range workloads {
+		fedsu, ok := r.Runs[wl.Name]["fedsu"]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "\n%s: FedSU mean sparsification %.1f%%", wl.Name, 100*fedsu.MeanSparsification())
+		if apf, ok := r.Runs[wl.Name]["apf"]; ok {
+			fmt.Fprintf(w, " (APF %.1f%%)", 100*apf.MeanSparsification())
+			ts, _, _ := fedsu.TimeToAccuracy(wl.TargetAccuracy)
+			ta, _, _ := apf.TimeToAccuracy(wl.TargetAccuracy)
+			if ts > 0 {
+				fmt.Fprintf(w, "; speedup vs APF %.1f%%", 100*(ta-ts)/ta)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

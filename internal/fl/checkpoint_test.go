@@ -1,0 +1,75 @@
+package fl
+
+import (
+	"context"
+	"testing"
+)
+
+func TestCheckpointRestoreResumesExactly(t *testing.T) {
+	// Run A: 12 rounds straight. Run B: 6 rounds, checkpoint, fresh-restore
+	// into the same engine, 6 more. Because restore clears only resumable
+	// state (models, masks, round counter) within the SAME engine, the two
+	// halves must chain exactly when the checkpoint round-trips losslessly.
+	e, _ := tinyEngine(t, "fedsu", 6)
+	ck := e.Checkpoint()
+	if ck.Round != 6 {
+		t.Fatalf("checkpoint round = %d, want 6", ck.Round)
+	}
+	before := e.Clients()[0].Model().Vector()
+
+	// Perturb the fleet, then restore.
+	if _, err := e.RunRound(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Clients()[0].Model().Vector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("restore did not rewind model at param %d", i)
+		}
+	}
+
+	// Training continues from the checkpoint without error and the fleet
+	// stays consistent.
+	if _, err := e.RunRound(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	ref := e.Clients()[0].Model().Vector()
+	for _, c := range e.Clients()[1:] {
+		v := c.Model().Vector()
+		for i := range ref {
+			if v[i] != ref[i] {
+				t.Fatalf("post-restore round: client %d diverged", c.ID)
+			}
+		}
+	}
+}
+
+func TestRestoreValidations(t *testing.T) {
+	e, _ := tinyEngine(t, "fedsu", 2)
+	ck := e.Checkpoint()
+
+	other, _ := tinyEngine(t, "fedavg", 1)
+	if err := other.Restore(ck); err == nil {
+		t.Error("restoring a FedSU checkpoint into a FedAvg fleet must fail")
+	}
+
+	ck2 := e.Checkpoint()
+	ck2.Model = ck2.Model[:10]
+	if err := e.Restore(ck2); err == nil {
+		t.Error("size-mismatched model must fail")
+	}
+}
+
+func TestCheckpointOmitsManagerForBaselines(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 2)
+	ck := e.Checkpoint()
+	if ck.Manager != nil {
+		t.Error("FedAvg checkpoint must not carry FedSU state")
+	}
+	if err := e.Restore(ck); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsu/internal/data"
+	"fedsu/internal/nn"
+	"fedsu/internal/opt"
+	"fedsu/internal/sparse"
+)
+
+// Client is one federated participant: a private model replica, an
+// optimizer, a local data shard, and a synchronization strategy.
+type Client struct {
+	// ID is the stable client identifier used by the aggregation server.
+	ID int
+
+	model  *nn.Model
+	opt    *opt.SGD
+	shard  *data.Subset
+	syncer sparse.Syncer
+	rng    *rand.Rand
+
+	vec []float64
+
+	// proxMu enables a FedProx-style proximal term μ/2·‖x − x_round‖² in
+	// the local objective (Li et al., MLSys 2020), the non-IID mitigation
+	// the paper notes FedSU composes with. Zero disables it.
+	proxMu   float64
+	roundVec []float64
+}
+
+// NewClient assembles a client. The model must be a fresh replica with the
+// same layout and initialization as every other client's.
+func NewClient(id int, model *nn.Model, optimizer *opt.SGD, shard *data.Subset, syncer sparse.Syncer, seed int64) *Client {
+	return &Client{
+		ID:     id,
+		model:  model,
+		opt:    optimizer,
+		shard:  shard,
+		syncer: syncer,
+		rng:    rand.New(rand.NewSource(seed)),
+		vec:    make([]float64, model.Size()),
+	}
+}
+
+// Model exposes the client's model replica (used by evaluation and
+// microscopes; treat as read-only between rounds).
+func (c *Client) Model() *nn.Model { return c.model }
+
+// Syncer exposes the client's synchronization strategy.
+func (c *Client) Syncer() sparse.Syncer { return c.syncer }
+
+// ShardSize returns the number of local samples.
+func (c *Client) ShardSize() int { return c.shard.Len() }
+
+// SetProximal enables the FedProx proximal term with coefficient mu
+// (0 disables it).
+func (c *Client) SetProximal(mu float64) { c.proxMu = mu }
+
+// TrainLocal runs iters mini-batch SGD iterations on the local shard and
+// returns the mean training loss. With a proximal coefficient set, each
+// iteration's gradient is augmented with μ(x − x_round), anchoring local
+// training to the round-start (global) model.
+func (c *Client) TrainLocal(iters, batchSize int) float64 {
+	if c.proxMu > 0 {
+		if c.roundVec == nil {
+			c.roundVec = make([]float64, c.model.Size())
+		}
+		c.model.ExtractVector(c.roundVec)
+	}
+	total := 0.0
+	for it := 0; it < iters; it++ {
+		x, labels := c.shard.SampleBatch(c.rng, batchSize)
+		c.model.ZeroGrad()
+		total += c.model.TrainStep(x, labels)
+		if c.proxMu > 0 {
+			c.addProximalGrad()
+		}
+		c.opt.Step(c.model.Params())
+	}
+	return total / float64(iters)
+}
+
+// addProximalGrad accumulates μ(x − x_round) into the parameter gradients.
+func (c *Client) addProximalGrad() {
+	off := 0
+	for _, p := range c.model.Params() {
+		v := p.Value.Data()
+		g := p.Grad.Data()
+		anchor := c.roundVec[off : off+len(v)]
+		if !p.NoOpt {
+			for i := range v {
+				g[i] += c.proxMu * (v[i] - anchor[i])
+			}
+		}
+		off += len(v)
+	}
+}
+
+// SyncRound extracts the post-training vector, runs the strategy's
+// synchronization for the round, loads the resulting vector back into the
+// model, and returns the traffic accounting.
+func (c *Client) SyncRound(round int, contributor bool) (sparse.Traffic, error) {
+	c.model.ExtractVector(c.vec)
+	out, tr, err := c.syncer.Sync(round, c.vec, contributor)
+	if err != nil {
+		return sparse.Traffic{}, fmt.Errorf("client %d: %w", c.ID, err)
+	}
+	c.model.LoadVector(out)
+	return tr, nil
+}

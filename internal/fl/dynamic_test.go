@@ -1,0 +1,92 @@
+package fl
+
+import (
+	"context"
+	"testing"
+
+	"fedsu/internal/core"
+	"fedsu/internal/data"
+)
+
+func TestAddClientMidTraining(t *testing.T) {
+	e, _ := tinyEngine(t, "fedsu", 10)
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "extra", Channels: 1, Size: 8, Classes: 4,
+		Samples: 64, Noise: 0.2, Seed: 99,
+	})
+	shard := data.NewSubset(ds, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	joiner, err := e.AddClient(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Clients()) != 5 {
+		t.Fatalf("fleet size = %d, want 5", len(e.Clients()))
+	}
+
+	// The joiner's model and mask state must match the fleet's before the
+	// next round.
+	ref := e.Clients()[0].Model().Vector()
+	jv := joiner.Model().Vector()
+	for i := range ref {
+		if ref[i] != jv[i] {
+			t.Fatalf("joiner model differs at %d", i)
+		}
+	}
+	donor := e.Clients()[0].Syncer().(*core.Manager)
+	jm := joiner.Syncer().(*core.Manager)
+	dm, jmask := donor.PredictableMask(), jm.PredictableMask()
+	for i := range dm {
+		if dm[i] != jmask[i] {
+			t.Fatalf("joiner mask differs at %d", i)
+		}
+	}
+
+	// Training continues and the fleet stays consistent.
+	if _, err := e.RunRound(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+	ref = e.Clients()[0].Model().Vector()
+	for _, c := range e.Clients()[1:] {
+		v := c.Model().Vector()
+		for i := range ref {
+			if v[i] != ref[i] {
+				t.Fatalf("post-join round: client %d diverged at %d", c.ID, i)
+			}
+		}
+	}
+}
+
+func TestRemoveClient(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 4)
+	id := e.Clients()[2].ID
+	if err := e.RemoveClient(id); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Clients()) != 3 {
+		t.Fatalf("fleet size = %d, want 3", len(e.Clients()))
+	}
+	if err := e.RemoveClient(999); err == nil {
+		t.Error("removing unknown id must fail")
+	}
+	if _, err := e.RunRound(context.Background(), false); err != nil {
+		t.Fatalf("round after removal: %v", err)
+	}
+}
+
+func TestRemoveAllClientsFails(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 2)
+	ids := []int{}
+	for _, c := range e.Clients() {
+		ids = append(ids, c.ID)
+	}
+	for i, id := range ids {
+		err := e.RemoveClient(id)
+		if i == len(ids)-1 {
+			if err == nil {
+				t.Error("removing the last client must fail")
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

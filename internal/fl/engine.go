@@ -1,0 +1,351 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"fedsu/internal/data"
+	"fedsu/internal/netem"
+	"fedsu/internal/nn"
+	"fedsu/internal/opt"
+	"fedsu/internal/sparse"
+	"fedsu/internal/tensor"
+)
+
+// Config assembles an emulated federated training run.
+type Config struct {
+	// NumClients is the client count (128 in the paper's testbed).
+	NumClients int
+	// LocalIters is F_s, the SGD iterations per round (50 in the paper).
+	LocalIters int
+	// BatchSize is the mini-batch size (32 in the paper).
+	BatchSize int
+	// LR, Momentum, WeightDecay configure the client optimizer.
+	LR, Momentum, WeightDecay float64
+	// ProxMu adds a FedProx proximal term μ/2·‖x − x_round‖² to each
+	// client's local objective; zero (the paper's setup) disables it.
+	ProxMu float64
+	// LRDecayWarm, when positive, applies the 1/√(1+step/warm) learning
+	// rate schedule that satisfies Theorem 1's convergence conditions
+	// (Eq. 13); zero keeps the paper's constant rate.
+	LRDecayWarm int
+	// DirichletAlpha controls non-IID label skew (1.0 in the paper).
+	DirichletAlpha float64
+	// EvalSamples is the held-out evaluation set size.
+	EvalSamples int
+	// EvalBatch is the evaluation batch size.
+	EvalBatch int
+	// Seed drives data partitioning and client mini-batch sampling.
+	Seed int64
+	// Netem configures the cluster timing model; zero value means
+	// netem.DefaultConfig(NumClients).
+	Netem netem.Config
+	// Compute calibrates local-training time; zero value means
+	// netem.DefaultComputeModel.
+	Compute netem.ComputeModel
+	// WireParams overrides the parameter count used for byte and compute
+	// accounting, letting scaled-down models report paper-scale traffic.
+	// Zero means the actual model size.
+	WireParams int
+}
+
+// DefaultConfig returns the paper's training hyper-parameters at a reduced
+// client count suitable for in-process emulation.
+func DefaultConfig(numClients int) Config {
+	return Config{
+		NumClients:     numClients,
+		LocalIters:     50,
+		BatchSize:      32,
+		LR:             0.01,
+		WeightDecay:    0.001,
+		DirichletAlpha: 1.0,
+		EvalSamples:    512,
+		EvalBatch:      64,
+		Seed:           1,
+	}
+}
+
+// RoundStats reports one round of an emulated run.
+type RoundStats struct {
+	// Round is the zero-based round index.
+	Round int
+	// Duration is the emulated wall-clock span of this round (seconds).
+	Duration float64
+	// SimTime is the cumulative emulated time at round end.
+	SimTime float64
+	// Accuracy and Loss are the global model's held-out metrics (NaN if
+	// evaluation was skipped this round).
+	Accuracy, Loss float64
+	// TrainLoss is the mean local training loss across clients.
+	TrainLoss float64
+	// Traffic aggregates all clients' communication this round.
+	Traffic sparse.Traffic
+	// SparsificationRatio is the byte-level savings versus full exchange.
+	SparsificationRatio float64
+	// PredictableFraction is the fraction of parameters in speculative
+	// mode (FedSU strategies; zero otherwise).
+	PredictableFraction float64
+	// Participants is the quorum size used for aggregation.
+	Participants int
+}
+
+// Engine drives an emulated federated run.
+type Engine struct {
+	cfg      Config
+	clients  []*Client
+	server   *Server
+	cluster  *netem.Cluster
+	compute  netem.ComputeModel
+	strategy string
+
+	evalModel *nn.Model
+	evalX     []evalBatch
+	dataset   *data.Dataset
+
+	simTime   float64
+	round     int
+	prevLoads []netem.ClientLoad
+
+	builder nn.Builder
+	factory sparse.Factory
+	nextID  int
+}
+
+type evalBatch struct {
+	x      *tensor.Tensor
+	labels []int
+}
+
+// NewEngine wires a complete emulated run: it partitions the dataset with
+// Dirichlet skew, builds one model replica + optimizer + strategy instance
+// per client, and prepares the netem cluster and evaluation set.
+func NewEngine(cfg Config, builder nn.Builder, ds *data.Dataset, factory sparse.Factory) (*Engine, error) {
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("fl: NumClients = %d", cfg.NumClients)
+	}
+	if cfg.LocalIters <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("fl: LocalIters/BatchSize must be positive, got %d/%d", cfg.LocalIters, cfg.BatchSize)
+	}
+	if cfg.Netem.NumClients == 0 {
+		cfg.Netem = netem.DefaultConfig(cfg.NumClients)
+	}
+	if cfg.Netem.NumClients != cfg.NumClients {
+		return nil, fmt.Errorf("fl: netem clients %d != engine clients %d", cfg.Netem.NumClients, cfg.NumClients)
+	}
+	if cfg.Compute == (netem.ComputeModel{}) {
+		cfg.Compute = netem.DefaultComputeModel()
+	}
+	cluster, err := netem.NewCluster(cfg.Netem)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+
+	probe := builder()
+	server := NewServer(cfg.NumClients)
+	shards := data.PartitionDirichlet(ds, cfg.NumClients, cfg.DirichletAlpha, cfg.Seed)
+
+	e := &Engine{
+		cfg:       cfg,
+		server:    server,
+		cluster:   cluster,
+		compute:   cfg.Compute,
+		evalModel: probe,
+		dataset:   ds,
+		builder:   builder,
+		factory:   factory,
+		nextID:    cfg.NumClients,
+	}
+	for i := 0; i < cfg.NumClients; i++ {
+		model := builder()
+		optOpts := []opt.SGDOpt{
+			opt.WithMomentum(cfg.Momentum),
+			opt.WithWeightDecay(cfg.WeightDecay),
+		}
+		if cfg.LRDecayWarm > 0 {
+			optOpts = append(optOpts, opt.WithSchedule(opt.InverseSqrt(cfg.LRDecayWarm)))
+		}
+		optimizer := opt.NewSGD(cfg.LR, optOpts...)
+		syncer := factory(i, model.Size(), server)
+		c := NewClient(i, model, optimizer, shards[i], syncer, cfg.Seed+int64(i)*7919)
+		c.SetProximal(cfg.ProxMu)
+		e.clients = append(e.clients, c)
+	}
+	e.strategy = e.clients[0].syncer.Name()
+	e.buildEvalSet()
+	return e, nil
+}
+
+// Strategy returns the active strategy name.
+func (e *Engine) Strategy() string { return e.strategy }
+
+// Clients exposes the client list (read-only).
+func (e *Engine) Clients() []*Client { return e.clients }
+
+// SimTime returns the cumulative emulated seconds.
+func (e *Engine) SimTime() float64 { return e.simTime }
+
+// buildEvalSet reserves a deterministic evaluation sample from the dataset.
+func (e *Engine) buildEvalSet() {
+	n := e.cfg.EvalSamples
+	if n <= 0 || n > e.dataset.Len() {
+		n = e.dataset.Len()
+	}
+	bs := e.cfg.EvalBatch
+	if bs <= 0 {
+		bs = 64
+	}
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, labels := e.dataset.Batch(idx)
+		e.evalX = append(e.evalX, evalBatch{x: x, labels: labels})
+	}
+}
+
+// wireParams returns the scalar count used for traffic and compute
+// accounting.
+func (e *Engine) wireParams() int {
+	if e.cfg.WireParams > 0 {
+		return e.cfg.WireParams
+	}
+	return e.evalModel.Size()
+}
+
+// RunRound executes one full round: timing-model participant selection,
+// concurrent local training and synchronization, and evaluation.
+func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error) {
+	k := e.round
+
+	// Timing: per-client loads use the previous round's actual payload
+	// bytes (full model on the first round) scaled to wire-parameter size.
+	scale := float64(e.wireParams()) / float64(e.evalModel.Size())
+	computeSec := e.compute.RoundCompute(e.wireParams(), e.cfg.LocalIters)
+	loads := e.prevLoads
+	if loads == nil {
+		full := int(float64(e.evalModel.Size()*sparse.BytesPerValue+sparse.HeaderBytes) * scale)
+		loads = e.cluster.UniformLoad(full, full, computeSec)
+	}
+	outcome := e.cluster.Round(loads)
+	// outcome.Participants are positional cluster slots; translate to the
+	// stable client ids the server keys on (they differ once clients have
+	// joined or left).
+	isParticipant := make([]bool, len(e.clients))
+	participantIDs := make([]int, 0, len(outcome.Participants))
+	for _, slot := range outcome.Participants {
+		isParticipant[slot] = true
+		participantIDs = append(participantIDs, e.clients[slot].ID)
+	}
+	e.server.BeginRound(k, participantIDs)
+
+	// Concurrent local training + synchronization.
+	type result struct {
+		idx     int
+		loss    float64
+		traffic sparse.Traffic
+		err     error
+	}
+	results := make([]result, len(e.clients))
+	var wg sync.WaitGroup
+	for i := range e.clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := e.clients[i]
+			loss := c.TrainLocal(e.cfg.LocalIters, e.cfg.BatchSize)
+			tr, err := c.SyncRound(k, isParticipant[i])
+			results[i] = result{idx: i, loss: loss, traffic: tr, err: err}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return RoundStats{}, err
+	}
+
+	stats := RoundStats{Round: k, Participants: len(outcome.Participants)}
+	var trafficTotal sparse.Traffic
+	ratioSum := 0.0
+	nextLoads := make([]netem.ClientLoad, len(e.clients))
+	for i, r := range results {
+		if r.err != nil {
+			return RoundStats{}, fmt.Errorf("fl: round %d: %w", k, r.err)
+		}
+		stats.TrainLoss += r.loss
+		trafficTotal.Add(r.traffic)
+		ratioSum += r.traffic.SparsificationRatio()
+		nextLoads[i] = netem.ClientLoad{
+			DownBytes:      int(float64(r.traffic.DownBytes) * scale),
+			UpBytes:        int(float64(r.traffic.UpBytes) * scale),
+			ComputeSeconds: computeSec,
+		}
+	}
+	e.prevLoads = nextLoads
+	stats.TrainLoss /= float64(len(e.clients))
+	stats.Traffic = trafficTotal
+	stats.SparsificationRatio = ratioSum / float64(len(e.clients))
+	if pc, ok := e.clients[0].syncer.(interface{ PredictableCount() int }); ok {
+		stats.PredictableFraction = float64(pc.PredictableCount()) / float64(e.evalModel.Size())
+	}
+
+	stats.Duration = outcome.Duration
+	e.simTime += outcome.Duration
+	stats.SimTime = e.simTime
+
+	if evaluate {
+		acc, loss := e.EvaluateGlobal()
+		stats.Accuracy, stats.Loss = acc, loss
+	} else {
+		stats.Accuracy, stats.Loss = -1, -1
+	}
+	e.round++
+	return stats, nil
+}
+
+// Run executes rounds sequentially, evaluating every evalEvery rounds (and
+// on the final round), and returns all round statistics.
+func (e *Engine) Run(ctx context.Context, rounds, evalEvery int) ([]RoundStats, error) {
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	var out []RoundStats
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		evaluate := (i+1)%evalEvery == 0 || i == rounds-1
+		st, err := e.RunRound(ctx, evaluate)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// EvaluateGlobal loads the current global model (client 0's post-sync
+// replica — identical across clients) into the evaluation replica and
+// scores it on the held-out set.
+func (e *Engine) EvaluateGlobal() (acc, loss float64) {
+	e.evalModel.LoadVector(e.clients[0].model.Vector())
+	var accSum, lossSum float64
+	n := 0
+	for _, b := range e.evalX {
+		a, l := e.evalModel.Evaluate(b.x, b.labels)
+		w := len(b.labels)
+		accSum += a * float64(w)
+		lossSum += l * float64(w)
+		n += w
+	}
+	return accSum / float64(n), lossSum / float64(n)
+}
+
+// GlobalVector returns a copy of the current global parameter vector.
+func (e *Engine) GlobalVector() []float64 {
+	return e.clients[0].model.Vector()
+}

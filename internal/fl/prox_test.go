@@ -1,0 +1,69 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fedsu/internal/data"
+	"fedsu/internal/nn"
+	"fedsu/internal/opt"
+)
+
+func proxClient(t *testing.T, mu float64) *Client {
+	t.Helper()
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "prox", Channels: 1, Size: 6, Classes: 2,
+		Samples: 64, Noise: 0.2, Seed: 4,
+	})
+	model := nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 6, NumClasses: 2, Seed: 3}, 8)
+	c := NewClient(0, model, opt.NewSGD(0.1), data.NewSubset(ds, seq(64)), nil, 1)
+	c.SetProximal(mu)
+	return c
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// TestProximalAnchorsLocalTraining: the larger μ, the smaller the local
+// drift from the round-start model — the FedProx contract.
+func TestProximalAnchorsLocalTraining(t *testing.T) {
+	drift := func(mu float64) float64 {
+		c := proxClient(t, mu)
+		start := c.Model().Vector()
+		c.TrainLocal(10, 8)
+		end := c.Model().Vector()
+		s := 0.0
+		for i := range start {
+			d := end[i] - start[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	free := drift(0)
+	anchored := drift(5)
+	if anchored >= free {
+		t.Errorf("μ=5 drift %v must be below μ=0 drift %v", anchored, free)
+	}
+	if anchored > free/3 {
+		t.Errorf("strong proximal term should shrink drift substantially: %v vs %v", anchored, free)
+	}
+}
+
+func TestProximalZeroIsVanillaSGD(t *testing.T) {
+	a := proxClient(t, 0)
+	b := proxClient(t, 0)
+	b.proxMu = 0 // explicit no-op
+	a.TrainLocal(5, 4)
+	b.TrainLocal(5, 4)
+	va, vb := a.Model().Vector(), b.Model().Vector()
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("identical zero-μ clients must train identically")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+
+	"fedsu/internal/core"
+	"fedsu/internal/sparse"
+)
+
+// StrategyFactory resolves a strategy name to its client-syncer factory.
+// Recognized names: "fedavg", "cmfl", "apf", "fedsu", "fedsu-v1",
+// "fedsu-v2".
+func StrategyFactory(name string) (sparse.Factory, error) {
+	return StrategyFactoryWith(name, core.DefaultOptions())
+}
+
+// StrategyFactoryWith is StrategyFactory with explicit FedSU options for
+// the fedsu* strategies (ignored by the baselines).
+func StrategyFactoryWith(name string, opts core.Options) (sparse.Factory, error) {
+	switch name {
+	case "fedavg":
+		return sparse.FedAvgFactory, nil
+	case "cmfl":
+		return sparse.CMFLFactory, nil
+	case "apf":
+		return sparse.APFFactory, nil
+	case "qsgd":
+		return sparse.QSGDFactory, nil
+	case "fedsu":
+		opts.Variant = core.VariantFull
+		return core.Factory(opts), nil
+	case "fedsu-v1":
+		opts.Variant = core.VariantV1
+		return core.Factory(opts), nil
+	case "fedsu-v2":
+		opts.Variant = core.VariantV2
+		return core.Factory(opts), nil
+	default:
+		return nil, fmt.Errorf("fl: unknown strategy %q (known: %v)", name, StrategyNames())
+	}
+}
+
+// StrategyNames lists the recognized strategy names.
+func StrategyNames() []string {
+	names := []string{"fedavg", "cmfl", "apf", "qsgd", "fedsu", "fedsu-v1", "fedsu-v2"}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,53 @@
+package fl
+
+import (
+	"sort"
+	"testing"
+
+	"fedsu/internal/core"
+)
+
+func TestStrategyNamesSorted(t *testing.T) {
+	names := StrategyNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("names not sorted: %v", names)
+	}
+	if len(names) != 7 {
+		t.Errorf("names = %v, want 7 entries", names)
+	}
+}
+
+func TestStrategyFactoryWithVariantOverride(t *testing.T) {
+	opts := core.DefaultOptions()
+	tests := []struct {
+		scheme string
+		want   string
+	}{
+		{"fedsu", "fedsu"},
+		{"fedsu-v1", "fedsu-v1"},
+		{"fedsu-v2", "fedsu-v2"},
+	}
+	for _, tt := range tests {
+		f, err := StrategyFactoryWith(tt.scheme, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := f(0, 4, NewServer(1))
+		if s.Name() != tt.want {
+			t.Errorf("scheme %q built syncer %q", tt.scheme, s.Name())
+		}
+	}
+}
+
+func TestAllFactoriesBuild(t *testing.T) {
+	srv := NewServer(1)
+	for _, name := range StrategyNames() {
+		f, err := StrategyFactory(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s := f(0, 3, srv); s == nil {
+			t.Fatalf("%s: nil syncer", name)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package fl implements the federated-learning engine: the aggregation
+// server (Algorithm 1's Central_Server), the client local-training loop,
+// and the round driver that couples them with the netem timing model and a
+// synchronization strategy (FedAvg, CMFL, APF, or FedSU).
+package fl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Server is the in-process aggregation service. Each collective
+// (model-average or error-average, per round) is a barrier: every client of
+// the round must submit before any receives the element-wise mean over the
+// contributing participants.
+//
+// Submission order across clients is arbitrary (clients run in goroutines),
+// but results are deterministic: contributions are summed in client-id
+// order once the barrier fills.
+type Server struct {
+	mu           sync.Mutex
+	numClients   int
+	participants map[int]bool
+	round        int
+	ops          map[opKey]*op
+}
+
+type opKey struct {
+	round int
+	kind  string
+}
+
+type op struct {
+	need    int
+	subs    int
+	byID    map[int][]float64
+	ids     []int
+	result  []float64
+	done    chan struct{}
+	failure error
+}
+
+// NewServer constructs a server expecting numClients submissions per
+// collective.
+func NewServer(numClients int) *Server {
+	return &Server{
+		numClients:   numClients,
+		participants: map[int]bool{},
+		ops:          map[opKey]*op{},
+	}
+}
+
+// BeginRound declares the active round and the participation quorum: only
+// listed clients' submissions contribute to averages this round (everyone
+// still synchronizes and receives results). It also garbage-collects
+// collectives from earlier rounds.
+func (s *Server) BeginRound(round int, participants []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.round = round
+	s.participants = make(map[int]bool, len(participants))
+	for _, id := range participants {
+		s.participants[id] = true
+	}
+	// Drop all completed collectives. BeginRound is only called when no
+	// collective is in flight (every barrier of the previous round has
+	// released its waiters, and waiters hold direct op pointers), and a
+	// checkpoint restore may legitimately replay an earlier round index,
+	// so the whole map is cleared rather than just older rounds.
+	for k := range s.ops {
+		delete(s.ops, k)
+	}
+}
+
+// SetNumClients adjusts the expected submission count, used when clients
+// join or leave between rounds. It must not be called while a round's
+// collectives are in flight.
+func (s *Server) SetNumClients(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.numClients = n
+}
+
+// AggregateModel implements sparse.Aggregator.
+func (s *Server) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	return s.aggregate(clientID, round, "model", values)
+}
+
+// AggregateError implements sparse.Aggregator.
+func (s *Server) AggregateError(clientID, round int, values []float64) ([]float64, error) {
+	return s.aggregate(clientID, round, "error", values)
+}
+
+func (s *Server) aggregate(clientID, round int, kind string, values []float64) ([]float64, error) {
+	s.mu.Lock()
+	key := opKey{round: round, kind: kind}
+	o, ok := s.ops[key]
+	if !ok {
+		o = &op{
+			need: s.numClients,
+			byID: map[int][]float64{},
+			done: make(chan struct{}),
+		}
+		s.ops[key] = o
+	}
+	if _, dup := o.byID[clientID]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fl: client %d double-submitted %s collective of round %d", clientID, kind, round)
+	}
+	if values != nil && s.participants[clientID] {
+		o.byID[clientID] = values
+		o.ids = append(o.ids, clientID)
+	} else {
+		o.byID[clientID] = nil
+	}
+	o.subs++
+	if o.subs == o.need {
+		o.finish()
+	}
+	s.mu.Unlock()
+
+	<-o.done
+	if o.failure != nil {
+		return nil, o.failure
+	}
+	return o.result, nil
+}
+
+// finish computes the mean over contributors in client-id order and
+// releases all waiters. Caller holds s.mu.
+func (o *op) finish() {
+	defer close(o.done)
+	if len(o.ids) == 0 {
+		o.result = nil
+		return
+	}
+	// Deterministic order: ascending client id.
+	sortInts(o.ids)
+	first := o.byID[o.ids[0]]
+	sum := make([]float64, len(first))
+	for _, id := range o.ids {
+		v := o.byID[id]
+		if len(v) != len(sum) {
+			o.failure = fmt.Errorf("fl: client %d submitted %d values, others %d", id, len(v), len(sum))
+			return
+		}
+		for i := range sum {
+			sum[i] += v[i]
+		}
+	}
+	inv := 1.0 / float64(len(o.ids))
+	for i := range sum {
+		sum[i] *= inv
+	}
+	o.result = sum
+}
+
+func sortInts(a []int) {
+	// Insertion sort: contributor counts are small (≤ clients per round)
+	// and usually nearly sorted.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,177 @@
+package fl
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestServerAggregatesMean(t *testing.T) {
+	s := NewServer(3)
+	s.BeginRound(0, []int{0, 1, 2})
+	var wg sync.WaitGroup
+	results := make([][]float64, 3)
+	inputs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.AggregateModel(i, 0, inputs[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if len(r) != 2 || math.Abs(r[0]-3) > 1e-12 || math.Abs(r[1]-4) > 1e-12 {
+			t.Errorf("client %d got %v, want [3 4]", i, r)
+		}
+	}
+}
+
+func TestServerExcludesAbstainers(t *testing.T) {
+	s := NewServer(3)
+	s.BeginRound(0, []int{0, 1, 2})
+	var wg sync.WaitGroup
+	var got []float64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v []float64
+			if i == 0 {
+				v = []float64{10}
+			}
+			r, err := s.AggregateModel(i, 0, v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i == 0 {
+				got = r
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(got) != 1 || got[0] != 10 {
+		t.Errorf("mean over single contributor = %v, want [10]", got)
+	}
+}
+
+func TestServerExcludesNonParticipants(t *testing.T) {
+	s := NewServer(2)
+	s.BeginRound(5, []int{1}) // only client 1 is in the quorum
+	var wg sync.WaitGroup
+	results := make([][]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.AggregateModel(i, 5, []float64{float64(i * 100)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if len(r) != 1 || r[0] != 100 {
+			t.Errorf("client %d got %v, want [100] (quorum-only mean)", i, r)
+		}
+	}
+}
+
+func TestServerAllAbstainReturnsNil(t *testing.T) {
+	s := NewServer(2)
+	s.BeginRound(0, nil)
+	var wg sync.WaitGroup
+	results := make([][]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.AggregateModel(i, 0, []float64{1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if results[0] != nil || results[1] != nil {
+		t.Error("empty quorum must aggregate to nil")
+	}
+}
+
+func TestServerModelAndErrorAreSeparateCollectives(t *testing.T) {
+	s := NewServer(1)
+	s.BeginRound(0, []int{0})
+	m, err := s.AggregateModel(0, 0, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.AggregateError(0, 0, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 1 || e[0] != 2 {
+		t.Errorf("collectives mixed: model %v error %v", m, e)
+	}
+}
+
+func TestServerDoubleSubmitFails(t *testing.T) {
+	s := NewServer(2)
+	s.BeginRound(0, []int{0, 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.AggregateModel(1, 0, []float64{1}) // fills barrier later
+	}()
+	// First submission parks; a duplicate from the same client must error
+	// without waiting.
+	go s.AggregateModel(0, 0, []float64{1})
+	// Give the first submission a moment to register, then duplicate.
+	for i := 0; i < 1000; i++ {
+		if _, err := s.AggregateModel(0, 0, []float64{9}); err != nil {
+			<-done
+			return
+		}
+	}
+	t.Error("duplicate submission never errored")
+}
+
+func TestServerLengthMismatchSurfacesError(t *testing.T) {
+	s := NewServer(2)
+	s.BeginRound(0, []int{0, 1})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	lens := []int{2, 3}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = s.AggregateModel(i, 0, make([]float64, lens[i]))
+		}(i)
+	}
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Error("length mismatch must surface an error to waiters")
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	a := []int{5, 1, 4, 1, 3}
+	sortInts(a)
+	want := []int{1, 1, 3, 4, 5}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("sortInts = %v, want %v", a, want)
+		}
+	}
+}

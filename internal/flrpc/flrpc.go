@@ -1,0 +1,237 @@
+// Package flrpc provides the real-network deployment mode of the federated
+// engine: a TCP coordinator exposing the aggregation collectives over
+// net/rpc (stdlib, gob-encoded), and a client-side sparse.Aggregator that
+// calls into it. It plays the role RPyC plays in the paper's Python
+// implementation.
+//
+// The in-process engine (internal/fl) and this package share the exact same
+// strategy code: a FedSU manager cannot tell whether its Aggregator is the
+// in-process server or a TCP connection.
+package flrpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"fedsu/internal/fl"
+)
+
+// ServiceName is the registered net/rpc service.
+const ServiceName = "FedSU"
+
+// JoinArgs identifies a joining client.
+type JoinArgs struct {
+	// Name is a human-readable client label (diagnostics only).
+	Name string
+}
+
+// JoinReply assigns the client its id and describes the session.
+type JoinReply struct {
+	// ClientID is the stable id to use in collectives.
+	ClientID int
+	// NumClients is the session size; collectives block until that many
+	// submissions arrive.
+	NumClients int
+	// ModelSize is the expected parameter-vector length.
+	ModelSize int
+}
+
+// AggArgs is one collective submission.
+type AggArgs struct {
+	ClientID int
+	Round    int
+	// Kind selects the collective: "model" or "error".
+	Kind string
+	// Values is the contribution; Abstain true submits nil (participate in
+	// the barrier without contributing).
+	Values  []float64
+	Abstain bool
+}
+
+// AggReply returns the collective result.
+type AggReply struct {
+	// Values is the element-wise mean over contributors; Nil reports that
+	// no client contributed.
+	Values []float64
+	Nil    bool
+}
+
+// Coordinator is the TCP-facing aggregation service.
+type Coordinator struct {
+	mu         sync.Mutex
+	numClients int
+	modelSize  int
+	nextID     int
+	allIDs     []int
+	begun      map[int]bool
+
+	srv *fl.Server
+}
+
+// NewCoordinator constructs a coordinator expecting numClients clients
+// training a model of modelSize scalar parameters.
+func NewCoordinator(numClients, modelSize int) (*Coordinator, error) {
+	if numClients <= 0 {
+		return nil, fmt.Errorf("flrpc: numClients = %d", numClients)
+	}
+	return &Coordinator{
+		numClients: numClients,
+		modelSize:  modelSize,
+		srv:        fl.NewServer(numClients),
+		begun:      map[int]bool{},
+	}, nil
+}
+
+// Join implements the session handshake.
+func (c *Coordinator) Join(args JoinArgs, reply *JoinReply) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nextID >= c.numClients {
+		return fmt.Errorf("flrpc: session full (%d clients)", c.numClients)
+	}
+	id := c.nextID
+	c.nextID++
+	c.allIDs = append(c.allIDs, id)
+	*reply = JoinReply{ClientID: id, NumClients: c.numClients, ModelSize: c.modelSize}
+	return nil
+}
+
+// Aggregate implements the blocking collective call.
+func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
+	if args.ClientID < 0 || args.ClientID >= c.numClients {
+		return fmt.Errorf("flrpc: unknown client %d", args.ClientID)
+	}
+	c.mu.Lock()
+	if !c.begun[args.Round] {
+		// All connected clients participate in the real-network mode;
+		// stragglers are governed by actual wall-clock, not emulation.
+		ids := make([]int, c.numClients)
+		for i := range ids {
+			ids[i] = i
+		}
+		c.srv.BeginRound(args.Round, ids)
+		c.begun[args.Round] = true
+		delete(c.begun, args.Round-2) // bounded bookkeeping
+	}
+	c.mu.Unlock()
+
+	values := args.Values
+	if args.Abstain {
+		values = nil
+	}
+	var (
+		res []float64
+		err error
+	)
+	switch args.Kind {
+	case "model":
+		res, err = c.srv.AggregateModel(args.ClientID, args.Round, values)
+	case "error":
+		res, err = c.srv.AggregateError(args.ClientID, args.Round, values)
+	default:
+		return fmt.Errorf("flrpc: unknown collective kind %q", args.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		reply.Nil = true
+		return nil
+	}
+	reply.Values = res
+	return nil
+}
+
+// Serve runs the coordinator on the listener until the listener closes.
+// It returns the first accept error (net.ErrClosed after Close).
+func Serve(l net.Listener, c *Coordinator) error {
+	s := rpc.NewServer()
+	if err := s.RegisterName(ServiceName, c); err != nil {
+		return fmt.Errorf("flrpc: register: %w", err)
+	}
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Listen starts a coordinator on addr and serves it in a background
+// goroutine, returning the listener (close it to stop).
+func Listen(addr string, c *Coordinator) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flrpc: listen %s: %w", addr, err)
+	}
+	go func() {
+		if err := Serve(l, c); err != nil && !errors.Is(err, net.ErrClosed) {
+			// The coordinator is a long-lived background service; an accept
+			// failure other than shutdown leaves clients hanging, so it is
+			// surfaced loudly.
+			fmt.Printf("flrpc: serve: %v\n", err)
+		}
+	}()
+	return l, nil
+}
+
+// Client is the client-side handle: a sparse.Aggregator backed by TCP.
+type Client struct {
+	rpc  *rpc.Client
+	id   int
+	size int
+	n    int
+}
+
+// Dial connects to a coordinator and joins the session.
+func Dial(addr, name string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flrpc: dial %s: %w", addr, err)
+	}
+	rc := rpc.NewClient(conn)
+	var reply JoinReply
+	if err := rc.Call(ServiceName+".Join", JoinArgs{Name: name}, &reply); err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("flrpc: join: %w", err)
+	}
+	return &Client{rpc: rc, id: reply.ClientID, size: reply.ModelSize, n: reply.NumClients}, nil
+}
+
+// ClientID returns the coordinator-assigned id.
+func (c *Client) ClientID() int { return c.id }
+
+// NumClients returns the session size.
+func (c *Client) NumClients() int { return c.n }
+
+// ModelSize returns the expected parameter-vector length.
+func (c *Client) ModelSize() int { return c.size }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// AggregateModel implements sparse.Aggregator over the wire.
+func (c *Client) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	return c.call("model", clientID, round, values)
+}
+
+// AggregateError implements sparse.Aggregator over the wire.
+func (c *Client) AggregateError(clientID, round int, values []float64) ([]float64, error) {
+	return c.call("error", clientID, round, values)
+}
+
+func (c *Client) call(kind string, clientID, round int, values []float64) ([]float64, error) {
+	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
+	var reply AggReply
+	if err := c.rpc.Call(ServiceName+".Aggregate", args, &reply); err != nil {
+		return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, err)
+	}
+	if reply.Nil {
+		return nil, nil
+	}
+	return reply.Values, nil
+}

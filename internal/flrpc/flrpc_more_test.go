@@ -1,0 +1,82 @@
+package flrpc
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(0, 10); err == nil {
+		t.Error("zero clients must fail")
+	}
+}
+
+func TestAggregateUnknownClient(t *testing.T) {
+	c, err := NewCoordinator(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply AggReply
+	if err := c.Aggregate(AggArgs{ClientID: 7, Round: 0, Kind: "model"}, &reply); err == nil {
+		t.Error("unknown client must fail")
+	}
+}
+
+func TestAggregateUnknownKind(t *testing.T) {
+	c, err := NewCoordinator(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply AggReply
+	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "bogus", Values: []float64{1}}, &reply)
+	if err == nil || !strings.Contains(err.Error(), "unknown collective") {
+		t.Errorf("unknown kind error = %v", err)
+	}
+}
+
+func TestErrorCollectiveOverTCP(t *testing.T) {
+	addr := startCoordinator(t, 2, 1)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	var wg sync.WaitGroup
+	var ra, rb []float64
+	wg.Add(2)
+	go func() { defer wg.Done(); ra, _ = a.AggregateError(a.ClientID(), 0, []float64{2}) }()
+	go func() { defer wg.Done(); rb, _ = b.AggregateError(b.ClientID(), 0, []float64{4}) }()
+	wg.Wait()
+	if len(ra) != 1 || ra[0] != 3 || rb[0] != 3 {
+		t.Fatalf("error collective = %v/%v, want [3]", ra, rb)
+	}
+}
+
+func TestDialBadAddress(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", "x"); err == nil {
+		t.Error("dialing a closed port must fail")
+	}
+}
+
+func TestConcurrentRounds(t *testing.T) {
+	// Several consecutive rounds over the same connections; ensures the
+	// coordinator's per-round bookkeeping is garbage-collected and reused
+	// correctly.
+	addr := startCoordinator(t, 2, 1)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	for k := 0; k < 20; k++ {
+		var wg sync.WaitGroup
+		var ra, rb []float64
+		wg.Add(2)
+		go func() { defer wg.Done(); ra, _ = a.AggregateModel(a.ClientID(), k, []float64{float64(k)}) }()
+		go func() { defer wg.Done(); rb, _ = b.AggregateModel(b.ClientID(), k, []float64{float64(k + 2)}) }()
+		wg.Wait()
+		want := float64(k) + 1
+		if ra[0] != want || rb[0] != want {
+			t.Fatalf("round %d: got %v/%v, want %v", k, ra, rb, want)
+		}
+	}
+}

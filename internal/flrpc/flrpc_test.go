@@ -1,0 +1,190 @@
+package flrpc
+
+import (
+	"sync"
+	"testing"
+
+	"fedsu/internal/core"
+	"fedsu/internal/data"
+	"fedsu/internal/fl"
+	"fedsu/internal/nn"
+	"fedsu/internal/opt"
+	"fedsu/internal/sparse"
+)
+
+func startCoordinator(t *testing.T, n, size int) (addr string) {
+	t.Helper()
+	c, err := NewCoordinator(n, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Listen("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+func TestJoinAssignsIDs(t *testing.T) {
+	addr := startCoordinator(t, 2, 5)
+	a, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if a.ClientID() == b.ClientID() {
+		t.Error("clients must receive distinct ids")
+	}
+	if a.NumClients() != 2 || a.ModelSize() != 5 {
+		t.Errorf("session metadata = %d/%d", a.NumClients(), a.ModelSize())
+	}
+	if _, err := Dial(addr, "c"); err == nil {
+		t.Error("joining a full session must fail")
+	}
+}
+
+func TestAggregateOverTCP(t *testing.T) {
+	addr := startCoordinator(t, 2, 2)
+	a, err := Dial(addr, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var ra, rb []float64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ra, _ = a.AggregateModel(a.ClientID(), 0, []float64{1, 3})
+	}()
+	go func() {
+		defer wg.Done()
+		rb, _ = b.AggregateModel(b.ClientID(), 0, []float64{3, 5})
+	}()
+	wg.Wait()
+	for _, r := range [][]float64{ra, rb} {
+		if len(r) != 2 || r[0] != 2 || r[1] != 4 {
+			t.Fatalf("TCP mean = %v, want [2 4]", r)
+		}
+	}
+}
+
+func TestAbstainOverTCP(t *testing.T) {
+	addr := startCoordinator(t, 2, 1)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	var wg sync.WaitGroup
+	var ra, rb []float64
+	wg.Add(2)
+	go func() { defer wg.Done(); ra, _ = a.AggregateModel(a.ClientID(), 0, []float64{7}) }()
+	go func() { defer wg.Done(); rb, _ = b.AggregateModel(b.ClientID(), 0, nil) }()
+	wg.Wait()
+	if len(ra) != 1 || ra[0] != 7 || len(rb) != 1 || rb[0] != 7 {
+		t.Fatalf("abstain aggregation = %v / %v, want [7] both", ra, rb)
+	}
+}
+
+// TestDistributedMatchesInProcess runs the same FedSU training once through
+// the in-process engine and once through real TCP clients, and requires
+// bit-identical final models.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	const (
+		numClients = 3
+		rounds     = 10
+		localIters = 2
+		batch      = 4
+		seed       = int64(9)
+	)
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tcp", Channels: 1, Size: 8, Classes: 3,
+		Samples: 192, Noise: 0.2, Jitter: 1, Seed: 21,
+	})
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 3, Seed: 4}, 16)
+	}
+	shards := data.PartitionDirichlet(ds, numClients, 1.0, seed)
+	opts := core.DefaultOptions()
+
+	// Reference: the same client loop as the TCP side, sharing the
+	// in-process fl.Server directly (netem-driven participation would
+	// complicate bit-exact equality).
+	refServer := fl.NewServer(numClients)
+	runFleet := func(agg func(i int) sparse.Aggregator, begin func(round int)) [][]float64 {
+		clients := make([]*fl.Client, numClients)
+		for i := 0; i < numClients; i++ {
+			model := builder()
+			mgr, err := core.NewManager(i, model.Size(), agg(i), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients[i] = fl.NewClient(i, model, opt.NewSGD(0.05), shards[i], mgr, seed+int64(i)*7919)
+		}
+		for k := 0; k < rounds; k++ {
+			if begin != nil {
+				begin(k)
+			}
+			var wg sync.WaitGroup
+			for _, c := range clients {
+				wg.Add(1)
+				go func(c *fl.Client) {
+					defer wg.Done()
+					c.TrainLocal(localIters, batch)
+					if _, err := c.SyncRound(k, true); err != nil {
+						t.Error(err)
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+		out := make([][]float64, numClients)
+		for i, c := range clients {
+			out[i] = c.Model().Vector()
+		}
+		return out
+	}
+
+	refVecs := runFleet(
+		func(int) sparse.Aggregator { return refServer },
+		func(k int) { refServer.BeginRound(k, []int{0, 1, 2}) },
+	)
+
+	// TCP fleet.
+	size := builder().Size()
+	addr := startCoordinator(t, numClients, size)
+	conns := make([]*Client, numClients)
+	for range conns {
+		c, err := Dial(addr, "client")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[c.ClientID()] = c
+	}
+	tcpVecs := runFleet(
+		func(i int) sparse.Aggregator { return conns[i] },
+		nil,
+	)
+
+	for i := range refVecs {
+		for j := range refVecs[i] {
+			if refVecs[i][j] != tcpVecs[i][j] {
+				t.Fatalf("client %d param %d: in-process %v != TCP %v",
+					i, j, refVecs[i][j], tcpVecs[i][j])
+			}
+		}
+	}
+}

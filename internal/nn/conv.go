@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math/rand"
+
+	"fedsu/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW tensors, lowered to matrix
+// multiplication via im2col.
+type Conv2D struct {
+	weight *Param // (outC, inC*KH*KW)
+	bias   *Param // (outC)
+
+	inC, outC int
+	p         tensor.ConvParams
+	useBias   bool
+
+	lastCols       *tensor.Tensor
+	lastN, lastH   int
+	lastW          int
+	lastOH, lastOW int
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// ConvOpt customizes a Conv2D at construction time.
+type ConvOpt func(*Conv2D)
+
+// WithStride sets both spatial strides.
+func WithStride(s int) ConvOpt {
+	return func(c *Conv2D) { c.p.StrideH, c.p.StrideW = s, s }
+}
+
+// WithPadding sets both spatial paddings.
+func WithPadding(p int) ConvOpt {
+	return func(c *Conv2D) { c.p.PadH, c.p.PadW = p, p }
+}
+
+// WithoutBias disables the additive bias, the norm for conv layers followed
+// by batch normalization.
+func WithoutBias() ConvOpt {
+	return func(c *Conv2D) { c.useBias = false }
+}
+
+// NewConv2D constructs a convolution with a square kernel and He-normal
+// weight initialization. Stride defaults to 1 and padding to 0.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D {
+	c := &Conv2D{
+		inC:     inC,
+		outC:    outC,
+		useBias: true,
+		p: tensor.ConvParams{
+			KernelH: kernel, KernelW: kernel,
+			StrideH: 1, StrideW: 1,
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	k := inC * kernel * kernel
+	c.weight = newParam("weight", outC, k)
+	c.weight.Value.KaimingNormal(rng, k)
+	if c.useBias {
+		c.bias = newParam("bias", outC)
+	}
+	return c
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.p.OutSize(h, w)
+	cols := tensor.Im2Col(x, c.p) // (inC*KH*KW, N*OH*OW)
+	c.lastCols = cols
+	c.lastN, c.lastH, c.lastW, c.lastOH, c.lastOW = n, h, w, oh, ow
+
+	y := tensor.MatMul(c.weight.Value, cols) // (outC, N*OH*OW)
+	if c.useBias {
+		bd := c.bias.Value.Data()
+		yd := y.Data()
+		spatial := n * oh * ow
+		for oc := 0; oc < c.outC; oc++ {
+			row := yd[oc*spatial : (oc+1)*spatial]
+			b := bd[oc]
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	// Reorder (outC, N, OH, OW) → (N, outC, OH, OW).
+	out := tensor.New(n, c.outC, oh, ow)
+	od, yd := out.Data(), y.Data()
+	plane := oh * ow
+	for oc := 0; oc < c.outC; oc++ {
+		for ni := 0; ni < n; ni++ {
+			src := yd[(oc*n+ni)*plane : (oc*n+ni+1)*plane]
+			dst := od[(ni*c.outC+oc)*plane : (ni*c.outC+oc+1)*plane]
+			copy(dst, src)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, oh, ow := c.lastN, c.lastOH, c.lastOW
+	plane := oh * ow
+	spatial := n * plane
+	// Reorder grad (N, outC, OH, OW) → (outC, N*OH*OW).
+	g := tensor.New(c.outC, spatial)
+	gd, srcd := g.Data(), grad.Data()
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.outC; oc++ {
+			src := srcd[(ni*c.outC+oc)*plane : (ni*c.outC+oc+1)*plane]
+			dst := gd[(oc*n+ni)*plane : (oc*n+ni+1)*plane]
+			copy(dst, src)
+		}
+	}
+	// dW = g × colsᵀ; cols is (K, spatial) so use MatMulTransB.
+	c.weight.Grad.Add(tensor.MatMulTransB(g, c.lastCols))
+	if c.useBias {
+		bd := c.bias.Grad.Data()
+		for oc := 0; oc < c.outC; oc++ {
+			row := gd[oc*spatial : (oc+1)*spatial]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			bd[oc] += s
+		}
+	}
+	// dCols = Wᵀ × g, W stored (outC, K): MatMulTransA.
+	dCols := tensor.MatMulTransA(c.weight.Value, g)
+	// The cached im2col matrix is the layer's dominant memory holding
+	// (K × N·OH·OW floats); release it as soon as backward has consumed
+	// it so deep models do not retain every layer's unrolled activations
+	// simultaneously between iterations.
+	c.lastCols = nil
+	return tensor.Col2Im(dCols, n, c.inC, c.lastH, c.lastW, c.p)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.useBias {
+		return []*Param{c.weight, c.bias}
+	}
+	return []*Param{c.weight}
+}

@@ -1,0 +1,90 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsu/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(1)), 0.5)
+	x := randInput(1, 4, 8)
+	y := d.Forward(x, false)
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("eval-mode dropout must be the identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(2)), 0.5)
+	x := tensor.Full(1, 1, 1000)
+	y := d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range y.Data() {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v (want 0 or 2)", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Errorf("dropped %d of 1000 at p=0.5", zeros)
+	}
+	if zeros+twos != 1000 {
+		t.Error("all values must be dropped or scaled")
+	}
+}
+
+// Property: dropout preserves activation expectation — the mean of many
+// forward passes approaches the input.
+func TestDropoutUnbiased(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(3)), 0.3)
+	x := tensor.Full(3, 1, 16)
+	sum := make([]float64, 16)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		y := d.Forward(x, true)
+		for j, v := range y.Data() {
+			sum[j] += v
+		}
+	}
+	for j := range sum {
+		if math.Abs(sum[j]/n-3) > 0.2 {
+			t.Errorf("mean[%d] = %v, want ≈3", j, sum[j]/n)
+		}
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(4)), 0.4)
+	x := randInput(5, 1, 64)
+	y := d.Forward(x, true)
+	g := tensor.Full(1, 1, 64)
+	dx := d.Backward(g)
+	scale := 1.0 / 0.6
+	for i := range y.Data() {
+		if y.Data()[i] == 0 {
+			if dx.Data()[i] != 0 {
+				t.Fatalf("dropped unit %d leaked gradient", i)
+			}
+		} else if math.Abs(dx.Data()[i]-scale) > 1e-12 {
+			t.Fatalf("kept unit %d gradient = %v, want %v", i, dx.Data()[i], scale)
+		}
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("p=1 must panic")
+		}
+	}()
+	NewDropout(rand.New(rand.NewSource(1)), 1)
+}

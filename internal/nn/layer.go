@@ -1,0 +1,108 @@
+// Package nn implements a small neural-network training stack with explicit
+// forward/backward layers: convolutions, linear layers, batch normalization,
+// pooling, activations, residual and densely-connected blocks, and the
+// softmax cross-entropy loss.
+//
+// The package exists as the deep-learning substrate for the FedSU
+// reproduction: federated clients train these models locally with SGD and
+// the federated layer synchronizes the flat parameter vectors the models
+// expose through Params.
+package nn
+
+import (
+	"fmt"
+
+	"fedsu/internal/tensor"
+)
+
+// Param is a single trainable (or tracked) tensor of a model together with
+// its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter within its model, e.g. "conv1.weight".
+	Name string
+	// Value holds the current parameter values.
+	Value *tensor.Tensor
+	// Grad accumulates the gradient of the loss w.r.t. Value over a batch.
+	Grad *tensor.Tensor
+	// NoOpt marks tensors that are synchronized between federated clients
+	// but not updated by the optimizer — batch-norm running statistics.
+	NoOpt bool
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name:  name,
+		Value: tensor.New(shape...),
+		Grad:  tensor.New(shape...),
+	}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is one differentiable stage of a network. Forward consumes the
+// previous activation and caches whatever Backward needs; Backward consumes
+// the gradient w.r.t. the layer output, accumulates parameter gradients, and
+// returns the gradient w.r.t. the layer input.
+//
+// Layers are stateful across a Forward/Backward pair and therefore not safe
+// for concurrent use; each federated client owns a private model replica.
+type Layer interface {
+	// Forward computes the layer output. train distinguishes training-time
+	// behaviour (batch-norm batch statistics) from inference.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes input gradients from output gradients and
+	// accumulates parameter gradients. It must be called after Forward.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's parameters; empty for stateless layers.
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each layer's output to the next.
+type Sequential struct {
+	layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential builds a sequential container over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: layers}
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer, concatenating all child parameters in order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// prefixParams renames parameters with a dotted prefix so composite blocks
+// produce unique, navigable names.
+func prefixParams(prefix string, ps []*Param) []*Param {
+	for _, p := range ps {
+		p.Name = fmt.Sprintf("%s.%s", prefix, p.Name)
+	}
+	return ps
+}

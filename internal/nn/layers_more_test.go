@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsu/internal/tensor"
+)
+
+func TestLinearForwardHandComputed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 2, 2)
+	// Overwrite with known weights: W = [[1 2],[3 4]], b = [10 20].
+	copy(l.weight.Value.Data(), []float64{1, 2, 3, 4})
+	copy(l.bias.Value.Data(), []float64{10, 20})
+	x := tensor.FromSlice([]float64{1, 1, 2, 0}, 2, 2)
+	y := l.Forward(x, true)
+	want := []float64{
+		1*1 + 1*3 + 10, 1*2 + 1*4 + 20, // row 1: [14 26]
+		2*1 + 0*3 + 10, 2*2 + 0*4 + 20, // row 2: [12 24]
+	}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Errorf("y[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	if l.In() != 2 || l.Out() != 2 {
+		t.Errorf("In/Out = %d/%d", l.In(), l.Out())
+	}
+}
+
+func TestConv2DForwardDirectConvolution(t *testing.T) {
+	// Compare the im2col path against a naive direct convolution.
+	rng := rand.New(rand.NewSource(2))
+	conv := NewConv2D(rng, 2, 3, 3, WithPadding(1), WithStride(2))
+	x := tensor.New(2, 2, 7, 7)
+	x.RandNormal(rng, 0, 1)
+	y := conv.Forward(x, true)
+
+	n, inC, h, w := 2, 2, 7, 7
+	outC := 3
+	oh, ow := 4, 4
+	wd := conv.weight.Value.Data() // (outC, inC*3*3)
+	bd := conv.bias.Value.Data()
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < outC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bd[oc]
+					for ci := 0; ci < inC; ci++ {
+						for ky := 0; ky < 3; ky++ {
+							for kx := 0; kx < 3; kx++ {
+								iy := oy*2 + ky - 1
+								ix := ox*2 + kx - 1
+								if iy < 0 || iy >= h || ix < 0 || ix >= w {
+									continue
+								}
+								wv := wd[oc*(inC*9)+(ci*3+ky)*3+kx]
+								sum += wv * x.At(ni, ci, iy, ix)
+							}
+						}
+					}
+					got := y.At(ni, oc, oy, ox)
+					if math.Abs(got-sum) > 1e-10 {
+						t.Fatalf("conv[%d,%d,%d,%d] = %v, want %v", ni, oc, oy, ox, got, sum)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxPoolSelectsMaxima(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 5, 2, 0,
+		3, 4, 8, 1,
+		0, 9, 2, 2,
+		7, 6, 3, 4,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2D(2, 2)
+	y := p.Forward(x, true)
+	want := []float64{5, 8, 9, 4}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Errorf("pool[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+	// Backward routes gradients to the argmax positions only.
+	g := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	if dx.At(0, 0, 0, 1) != 1 || dx.At(0, 0, 1, 2) != 2 ||
+		dx.At(0, 0, 2, 1) != 3 || dx.At(0, 0, 3, 3) != 4 {
+		t.Errorf("pool backward misrouted: %v", dx.Data())
+	}
+	sum := 0.0
+	for _, v := range dx.Data() {
+		sum += v
+	}
+	if sum != 10 {
+		t.Errorf("pool backward total = %v, want 10", sum)
+	}
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	x := tensor.FromSlice([]float64{
+		1, 2, 3, 4, // channel 0: mean 2.5
+		10, 10, 10, 10, // channel 1: mean 10
+	}, 1, 2, 2, 2)
+	g := NewGlobalAvgPool2D()
+	y := g.Forward(x, true)
+	if y.At(0, 0) != 2.5 || y.At(0, 1) != 10 {
+		t.Errorf("GAP = %v, want [2.5 10]", y.Data())
+	}
+}
+
+func TestBatchNormRunningStatsConverge(t *testing.T) {
+	bn := NewBatchNorm2D(1)
+	rng := rand.New(rand.NewSource(3))
+	// Feed batches from N(5, 4); running stats should approach them.
+	for i := 0; i < 300; i++ {
+		x := tensor.New(8, 1, 2, 2)
+		for j := range x.Data() {
+			x.Data()[j] = 5 + 2*rng.NormFloat64()
+		}
+		bn.Forward(x, true)
+	}
+	mean := bn.runningMean.Value.At(0)
+	varr := bn.runningVar.Value.At(0)
+	if math.Abs(mean-5) > 0.3 {
+		t.Errorf("running mean = %v, want ≈5", mean)
+	}
+	if math.Abs(varr-4) > 0.8 {
+		t.Errorf("running var = %v, want ≈4", varr)
+	}
+}
+
+func TestBatchNormParamsMarkNoOpt(t *testing.T) {
+	bn := NewBatchNorm2D(2)
+	var noOpt, opt int
+	for _, p := range bn.Params() {
+		if p.NoOpt {
+			noOpt++
+		} else {
+			opt++
+		}
+	}
+	if noOpt != 2 || opt != 2 {
+		t.Errorf("NoOpt/opt split = %d/%d, want 2/2", noOpt, opt)
+	}
+}
+
+func TestSequentialAppendAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSequential(NewLinear(rng, 4, 3))
+	s.Append(NewReLU(), NewLinear(rng, 3, 2))
+	if got := len(s.Params()); got != 4 {
+		t.Errorf("Params = %d tensors, want 4 (2 weights + 2 biases)", got)
+	}
+	x := tensor.New(1, 4)
+	y := s.Forward(x, true)
+	if y.Dim(1) != 2 {
+		t.Errorf("output width = %d, want 2", y.Dim(1))
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 60 {
+		t.Fatalf("flatten shape = %v", y.Shape())
+	}
+	g := tensor.New(2, 60)
+	dx := f.Backward(g)
+	shape := dx.Shape()
+	if shape[0] != 2 || shape[1] != 3 || shape[2] != 4 || shape[3] != 5 {
+		t.Errorf("backward shape = %v", shape)
+	}
+}
+
+func TestModelSizesScaleDown(t *testing.T) {
+	big := NewPaperCNN(ModelConfig{InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: 4, Seed: 1})
+	small := NewPaperCNN(ModelConfig{InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: 16, Seed: 1})
+	if big.Size() <= small.Size() {
+		t.Errorf("scale 4 (%d params) must exceed scale 16 (%d params)", big.Size(), small.Size())
+	}
+}
+
+func TestResNetStridesReduceSpatial(t *testing.T) {
+	m := NewResNet18(ModelConfig{InChannels: 3, ImageSize: 32, NumClasses: 10, Scale: 16, Seed: 1})
+	x := tensor.New(1, 3, 32, 32)
+	logits := m.Forward(x, false)
+	if logits.Dim(0) != 1 || logits.Dim(1) != 10 {
+		t.Errorf("logits shape = %v", logits.Shape())
+	}
+}

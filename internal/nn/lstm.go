@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedsu/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network consuming NCHW
+// input of shape (N, 1, T, D) — T timesteps of D features, the layout the
+// data pipeline produces when an image's rows are read as a sequence — and
+// emitting the final hidden state (N, H). Backpropagation runs through all
+// timesteps (full BPTT).
+//
+// The recurrent workload exists because the sparsification literature the
+// paper builds on (CMFL in particular) evaluates LSTM models; it extends
+// the paper's CNN/ResNet/DenseNet zoo with a fourth trajectory family.
+type LSTM struct {
+	wx *Param // (D, 4H), gate order: input, forget, cell, output
+	wh *Param // (H, 4H)
+	b  *Param // (4H)
+
+	inDim, hidden int
+
+	// Forward caches for BPTT.
+	steps []lstmStep
+	lastN int
+}
+
+type lstmStep struct {
+	x          *tensor.Tensor // (N, D)
+	hPrev      *tensor.Tensor // (N, H)
+	cPrev      *tensor.Tensor // (N, H)
+	i, f, g, o []float64      // gate activations, length N*H
+	c          *tensor.Tensor // (N, H)
+	tanhC      []float64
+}
+
+var _ Layer = (*LSTM)(nil)
+
+// NewLSTM constructs an LSTM over inDim features per step with the given
+// hidden width. The forget-gate bias starts at 1, the standard trick that
+// keeps early memory open.
+func NewLSTM(rng *rand.Rand, inDim, hidden int) *LSTM {
+	l := &LSTM{
+		wx:     newParam("wx", inDim, 4*hidden),
+		wh:     newParam("wh", hidden, 4*hidden),
+		b:      newParam("b", 4*hidden),
+		inDim:  inDim,
+		hidden: hidden,
+	}
+	l.wx.Value.XavierUniform(rng, inDim, 4*hidden)
+	l.wh.Value.XavierUniform(rng, hidden, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		l.b.Value.Data()[j] = 1
+	}
+	return l
+}
+
+// Hidden returns the hidden-state width.
+func (l *LSTM) Hidden() int { return l.hidden }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward implements Layer.
+func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	n, steps, d := x.Dim(0), x.Dim(2), x.Dim(3)
+	if x.Dim(1) != 1 {
+		panic("nn: LSTM expects single-channel (N, 1, T, D) input")
+	}
+	if d != l.inDim {
+		panic("nn: LSTM feature width mismatch")
+	}
+	l.lastN = n
+	l.steps = l.steps[:0]
+	h := tensor.New(n, l.hidden)
+	c := tensor.New(n, l.hidden)
+	xd := x.Data()
+
+	for t := 0; t < steps; t++ {
+		// Slice step t into an (N, D) matrix.
+		xt := tensor.New(n, d)
+		for ni := 0; ni < n; ni++ {
+			src := xd[(ni*steps+t)*d : (ni*steps+t+1)*d]
+			copy(xt.Data()[ni*d:(ni+1)*d], src)
+		}
+		z := tensor.MatMul(xt, l.wx.Value)
+		z.Add(tensor.MatMul(h, l.wh.Value))
+		zd := z.Data()
+		bd := l.b.Value.Data()
+		H := l.hidden
+		step := lstmStep{
+			x: xt, hPrev: h, cPrev: c,
+			i: make([]float64, n*H), f: make([]float64, n*H),
+			g: make([]float64, n*H), o: make([]float64, n*H),
+			tanhC: make([]float64, n*H),
+		}
+		newC := tensor.New(n, H)
+		newH := tensor.New(n, H)
+		for ni := 0; ni < n; ni++ {
+			zr := zd[ni*4*H : (ni+1)*4*H]
+			cPrev := c.Data()[ni*H : (ni+1)*H]
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zr[j] + bd[j])
+				fv := sigmoid(zr[H+j] + bd[H+j])
+				gv := math.Tanh(zr[2*H+j] + bd[2*H+j])
+				ov := sigmoid(zr[3*H+j] + bd[3*H+j])
+				cv := fv*cPrev[j] + iv*gv
+				tc := math.Tanh(cv)
+				idx := ni*H + j
+				step.i[idx], step.f[idx], step.g[idx], step.o[idx] = iv, fv, gv, ov
+				step.tanhC[idx] = tc
+				newC.Data()[idx] = cv
+				newH.Data()[idx] = ov * tc
+			}
+		}
+		step.c = newC
+		l.steps = append(l.steps, step)
+		h, c = newH, newC
+	}
+	return h
+}
+
+// Backward implements Layer, running BPTT from the final-hidden-state
+// gradient back to the input sequence.
+func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, H, D := l.lastN, l.hidden, l.inDim
+	steps := len(l.steps)
+	dx := tensor.New(n, 1, steps, D)
+
+	dh := grad.Clone()
+	dc := tensor.New(n, H)
+	for t := steps - 1; t >= 0; t-- {
+		st := l.steps[t]
+		l.steps[t] = lstmStep{} // release as consumed
+		dz := tensor.New(n, 4*H)
+		dhd, dcd, dzd := dh.Data(), dc.Data(), dz.Data()
+		cPrev := st.cPrev.Data()
+		for ni := 0; ni < n; ni++ {
+			for j := 0; j < H; j++ {
+				idx := ni*H + j
+				iv, fv, gv, ov := st.i[idx], st.f[idx], st.g[idx], st.o[idx]
+				tc := st.tanhC[idx]
+				dcTotal := dcd[idx] + dhd[idx]*ov*(1-tc*tc)
+				do := dhd[idx] * tc
+				di := dcTotal * gv
+				df := dcTotal * cPrev[idx]
+				dg := dcTotal * iv
+				zr := dzd[ni*4*H : (ni+1)*4*H]
+				zr[j] = di * iv * (1 - iv)
+				zr[H+j] = df * fv * (1 - fv)
+				zr[2*H+j] = dg * (1 - gv*gv)
+				zr[3*H+j] = do * ov * (1 - ov)
+				dcd[idx] = dcTotal * fv // flows to c_{t-1}
+			}
+		}
+		// Parameter gradients.
+		l.wx.Grad.Add(tensor.MatMulTransA(st.x, dz))
+		l.wh.Grad.Add(tensor.MatMulTransA(st.hPrev, dz))
+		bg := l.b.Grad.Data()
+		for ni := 0; ni < n; ni++ {
+			row := dzd[ni*4*H : (ni+1)*4*H]
+			for j, v := range row {
+				bg[j] += v
+			}
+		}
+		// Input and previous-hidden gradients.
+		dxt := tensor.MatMulTransB(dz, l.wx.Value) // (N, D)
+		for ni := 0; ni < n; ni++ {
+			dst := dx.Data()[(ni*steps+t)*D : (ni*steps+t+1)*D]
+			copy(dst, dxt.Data()[ni*D:(ni+1)*D])
+		}
+		dh = tensor.MatMulTransB(dz, l.wh.Value) // (N, H)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+
+// NewRowLSTM builds a sequence classifier that reads each image row as one
+// timestep — the classic "row LSTM" benchmark — followed by a linear head.
+func NewRowLSTM(cfg ModelConfig) *Model {
+	if cfg.InChannels != 1 {
+		panic("nn: NewRowLSTM requires single-channel input")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hidden := cfg.scaled(128)
+	seq := NewSequential(
+		NewLSTM(rng, cfg.ImageSize, hidden),
+		NewLinear(rng, hidden, cfg.NumClasses),
+	)
+	m := NewModel("lstm", seq, cfg.NumClasses)
+	namePrefix(m)
+	return m
+}

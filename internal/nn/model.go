@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+
+	"fedsu/internal/tensor"
+)
+
+// Model couples a network with a classification loss and exposes the flat
+// parameter-vector view the federated synchronization layer works over.
+type Model struct {
+	// Name identifies the architecture, e.g. "cnn" or "resnet18".
+	Name string
+
+	net    Layer
+	loss   *SoftmaxCrossEntropy
+	params []*Param
+
+	size       int // total scalar count across all params
+	optSize    int // scalar count across optimizer-visible params
+	numClasses int
+}
+
+// NewModel wraps a network and records its parameter layout. The parameter
+// order is the construction order of the layers and is therefore identical
+// across model replicas built with the same constructor, which is what
+// allows clients to exchange flat vectors.
+func NewModel(name string, net Layer, numClasses int) *Model {
+	m := &Model{
+		Name:       name,
+		net:        net,
+		loss:       NewSoftmaxCrossEntropy(),
+		params:     net.Params(),
+		numClasses: numClasses,
+	}
+	for _, p := range m.params {
+		m.size += p.Value.Len()
+		if !p.NoOpt {
+			m.optSize += p.Value.Len()
+		}
+	}
+	return m
+}
+
+// NumClasses returns the classifier output width.
+func (m *Model) NumClasses() int { return m.numClasses }
+
+// Size returns the total number of scalar parameters, including batch-norm
+// running statistics.
+func (m *Model) Size() int { return m.size }
+
+// OptSize returns the number of optimizer-updated scalar parameters.
+func (m *Model) OptSize() int { return m.optSize }
+
+// Params returns the model parameters in synchronization order.
+func (m *Model) Params() []*Param { return m.params }
+
+// Forward runs the network and returns logits.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.net.Forward(x, train)
+}
+
+// ZeroGrad clears every parameter gradient.
+func (m *Model) ZeroGrad() {
+	for _, p := range m.params {
+		p.ZeroGrad()
+	}
+}
+
+// TrainStep runs one forward/backward pass on a batch, accumulating
+// gradients, and returns the batch loss. The caller applies the optimizer.
+func (m *Model) TrainStep(x *tensor.Tensor, labels []int) float64 {
+	logits := m.net.Forward(x, true)
+	loss := m.loss.Forward(logits, labels)
+	m.net.Backward(m.loss.Backward())
+	return loss
+}
+
+// Loss computes the loss of a batch without accumulating gradients' side
+// effects beyond the forward caches.
+func (m *Model) Loss(x *tensor.Tensor, labels []int) float64 {
+	logits := m.net.Forward(x, false)
+	return m.loss.Forward(logits, labels)
+}
+
+// Evaluate returns the accuracy and mean loss of the model over the given
+// batch in inference mode.
+func (m *Model) Evaluate(x *tensor.Tensor, labels []int) (acc, loss float64) {
+	logits := m.net.Forward(x, false)
+	return Accuracy(logits, labels), m.loss.Forward(logits, labels)
+}
+
+// ExtractVector copies every parameter value into dst in synchronization
+// order. dst must have length Size.
+func (m *Model) ExtractVector(dst []float64) {
+	if len(dst) != m.size {
+		panic(fmt.Sprintf("nn: ExtractVector length %d, model size %d", len(dst), m.size))
+	}
+	off := 0
+	for _, p := range m.params {
+		off += copy(dst[off:], p.Value.Data())
+	}
+}
+
+// LoadVector copies src into the parameter values in synchronization order.
+// src must have length Size.
+func (m *Model) LoadVector(src []float64) {
+	if len(src) != m.size {
+		panic(fmt.Sprintf("nn: LoadVector length %d, model size %d", len(src), m.size))
+	}
+	off := 0
+	for _, p := range m.params {
+		d := p.Value.Data()
+		copy(d, src[off:off+len(d)])
+		off += len(d)
+	}
+}
+
+// Vector allocates and returns the current flat parameter vector.
+func (m *Model) Vector() []float64 {
+	v := make([]float64, m.size)
+	m.ExtractVector(v)
+	return v
+}

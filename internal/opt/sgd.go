@@ -1,0 +1,122 @@
+// Package opt implements the optimizers and learning-rate schedules used by
+// federated clients: SGD with momentum and weight decay (the paper's
+// optimizer) and the schedules its convergence analysis admits.
+package opt
+
+import (
+	"math"
+
+	"fedsu/internal/nn"
+)
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// L2 weight decay, matching the paper's training setup (SGD, weight decay
+// 0.001).
+type SGD struct {
+	lr          float64
+	momentum    float64
+	weightDecay float64
+	schedule    Schedule
+
+	velocity map[*nn.Param][]float64
+	step     int
+}
+
+// SGDOpt customizes an SGD optimizer at construction time.
+type SGDOpt func(*SGD)
+
+// WithMomentum enables classical momentum with coefficient m.
+func WithMomentum(m float64) SGDOpt {
+	return func(s *SGD) { s.momentum = m }
+}
+
+// WithWeightDecay enables L2 weight decay with coefficient wd.
+func WithWeightDecay(wd float64) SGDOpt {
+	return func(s *SGD) { s.weightDecay = wd }
+}
+
+// WithSchedule attaches a learning-rate schedule; the base learning rate is
+// multiplied by the schedule value at each step.
+func WithSchedule(sched Schedule) SGDOpt {
+	return func(s *SGD) { s.schedule = sched }
+}
+
+// NewSGD constructs an SGD optimizer with base learning rate lr.
+func NewSGD(lr float64, opts ...SGDOpt) *SGD {
+	s := &SGD{lr: lr, schedule: Constant()}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// LR returns the effective learning rate at the current step.
+func (s *SGD) LR() float64 { return s.lr * s.schedule(s.step) }
+
+// Step applies one update to every optimizer-visible parameter using the
+// gradients accumulated since the last ZeroGrad, then advances the step
+// counter.
+func (s *SGD) Step(params []*nn.Param) {
+	lr := s.LR()
+	for _, p := range params {
+		if p.NoOpt {
+			continue
+		}
+		v := p.Value.Data()
+		g := p.Grad.Data()
+		if s.weightDecay != 0 {
+			for i := range g {
+				g[i] += s.weightDecay * v[i]
+			}
+		}
+		if s.momentum != 0 {
+			if s.velocity == nil {
+				s.velocity = make(map[*nn.Param][]float64)
+			}
+			vel, ok := s.velocity[p]
+			if !ok {
+				vel = make([]float64, len(v))
+				s.velocity[p] = vel
+			}
+			for i := range v {
+				vel[i] = s.momentum*vel[i] + g[i]
+				v[i] -= lr * vel[i]
+			}
+		} else {
+			for i := range v {
+				v[i] -= lr * g[i]
+			}
+		}
+	}
+	s.step++
+}
+
+// Schedule maps a step index to a multiplier on the base learning rate.
+type Schedule func(step int) float64
+
+// Constant returns the identity schedule.
+func Constant() Schedule {
+	return func(int) float64 { return 1 }
+}
+
+// StepDecay multiplies the rate by factor every interval steps.
+func StepDecay(interval int, factor float64) Schedule {
+	return func(step int) float64 {
+		m := 1.0
+		for s := interval; s <= step; s += interval {
+			m *= factor
+		}
+		return m
+	}
+}
+
+// InverseSqrt implements the 1/√(1+step/warm) schedule satisfying the
+// divergent-sum / vanishing-ratio conditions of Theorem 1 (Eq. 13).
+func InverseSqrt(warm int) Schedule {
+	if warm <= 0 {
+		warm = 1
+	}
+	return func(step int) float64 {
+		return 1.0 / math.Sqrt(1+float64(step)/float64(warm))
+	}
+}

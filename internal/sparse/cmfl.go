@@ -1,0 +1,108 @@
+package sparse
+
+import "fmt"
+
+// CMFL implements Communication-Mitigated Federated Learning (Wang et al.,
+// ICDCS 2019): a client uploads its local update only when a sufficient
+// fraction of the update's element signs agree with the estimated global
+// update direction (the previous round's global update). Irrelevant updates
+// are withheld, saving uplink traffic; the full global model is still
+// downloaded every round.
+type CMFL struct {
+	id   int
+	size int
+	agg  Aggregator
+
+	// RelevanceThreshold is the minimum sign-agreement fraction required
+	// to upload (0.8 in the paper).
+	relevance float64
+
+	prevGlobal       []float64
+	lastGlobalUpdate []float64
+	haveUpdate       bool
+}
+
+var _ Syncer = (*CMFL)(nil)
+
+// NewCMFL constructs a CMFL strategy with the given relevance threshold.
+func NewCMFL(clientID, size int, agg Aggregator, relevance float64) *CMFL {
+	return &CMFL{id: clientID, size: size, agg: agg, relevance: relevance}
+}
+
+// CMFLFactory returns a Factory using the paper's default threshold 0.8.
+func CMFLFactory(clientID, size int, agg Aggregator) Syncer {
+	return NewCMFL(clientID, size, agg, 0.8)
+}
+
+// Name implements Syncer.
+func (c *CMFL) Name() string { return "cmfl" }
+
+// Relevance returns the sign-agreement fraction between the local update
+// and the estimated global update.
+func (c *CMFL) Relevance(local []float64) float64 {
+	if !c.haveUpdate {
+		return 1
+	}
+	agree := 0
+	for i := range local {
+		u := local[i] - c.prevGlobal[i]
+		g := c.lastGlobalUpdate[i]
+		if (u >= 0) == (g >= 0) {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(local))
+}
+
+// Sync implements Syncer.
+func (c *CMFL) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	if len(local) != c.size {
+		return nil, Traffic{}, fmt.Errorf("cmfl: vector length %d, want %d", len(local), c.size)
+	}
+	relevant := true
+	if c.prevGlobal != nil {
+		relevant = c.Relevance(local) >= c.relevance
+	}
+	send := local
+	if !contributor || !relevant {
+		send = nil
+	}
+	global, err := c.agg.AggregateModel(c.id, round, send)
+	if err != nil {
+		return nil, Traffic{}, fmt.Errorf("cmfl: aggregate round %d: %w", round, err)
+	}
+
+	out := make([]float64, c.size)
+	if global == nil {
+		// Every client withheld; the global model is unchanged.
+		if c.prevGlobal != nil {
+			copy(out, c.prevGlobal)
+		} else {
+			copy(out, local)
+		}
+	} else {
+		copy(out, global)
+	}
+
+	if c.prevGlobal != nil {
+		upd := make([]float64, c.size)
+		for i := range upd {
+			upd[i] = out[i] - c.prevGlobal[i]
+		}
+		c.lastGlobalUpdate = upd
+		c.haveUpdate = true
+	}
+	c.prevGlobal = out
+
+	tr := Traffic{
+		DownBytes:    c.size*BytesPerValue + HeaderBytes,
+		TotalParams:  c.size,
+		SyncedParams: 0,
+		UpBytes:      HeaderBytes,
+	}
+	if relevant {
+		tr.UpBytes = c.size*BytesPerValue + HeaderBytes
+		tr.SyncedParams = c.size
+	}
+	return out, tr, nil
+}

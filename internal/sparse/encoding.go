@@ -1,0 +1,146 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the wire encodings for sparse parameter payloads.
+// FedSU and APF derive their masks deterministically on both ends, so the
+// default protocol ships only the selected float32 values. These encoders
+// cover the general case — a receiver that does NOT know the mask — and
+// back the bitmap-vs-index ablation called out in DESIGN.md §5: a bitmap
+// costs 1 bit per model parameter regardless of density, while a varint
+// index list costs a few bytes per *selected* parameter, so the crossover
+// sits at roughly 3 % density.
+
+// EncodeBitmapPayload encodes (mask, values) as a bitmap over all
+// parameters followed by the selected float32 values.
+func EncodeBitmapPayload(mask []bool, values []float64) []byte {
+	nSel := 0
+	for _, m := range mask {
+		if m {
+			nSel++
+		}
+	}
+	if nSel != len(values) {
+		panic(fmt.Sprintf("sparse: %d mask bits set but %d values", nSel, len(values)))
+	}
+	out := make([]byte, 0, 8+(len(mask)+7)/8+4*len(values))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(mask)))
+	out = append(out, hdr[:]...)
+	bits := make([]byte, (len(mask)+7)/8)
+	for i, m := range mask {
+		if m {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	out = append(out, bits...)
+	var buf [4]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeBitmapPayload reverses EncodeBitmapPayload, returning the mask and
+// the selected values.
+func DecodeBitmapPayload(b []byte) (mask []bool, values []float64, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("sparse: bitmap payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint64(b[:8]))
+	b = b[8:]
+	nb := (n + 7) / 8
+	if len(b) < nb {
+		return nil, nil, fmt.Errorf("sparse: bitmap truncated")
+	}
+	mask = make([]bool, n)
+	nSel := 0
+	for i := 0; i < n; i++ {
+		if b[i/8]&(1<<(i%8)) != 0 {
+			mask[i] = true
+			nSel++
+		}
+	}
+	b = b[nb:]
+	if len(b) != 4*nSel {
+		return nil, nil, fmt.Errorf("sparse: bitmap payload has %d value bytes, want %d", len(b), 4*nSel)
+	}
+	values = make([]float64, nSel)
+	for i := range values {
+		values[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+	}
+	return mask, values, nil
+}
+
+// EncodeIndexPayload encodes (indices, values) as delta-varint indices
+// followed by float32 values. indices must be strictly increasing.
+func EncodeIndexPayload(indices []int, values []float64) []byte {
+	if len(indices) != len(values) {
+		panic(fmt.Sprintf("sparse: %d indices but %d values", len(indices), len(values)))
+	}
+	out := make([]byte, 0, 8+5*len(indices)+4*len(values))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(indices)))
+	out = append(out, hdr[:]...)
+	prev := 0
+	var tmp [binary.MaxVarintLen64]byte
+	for i, idx := range indices {
+		if i > 0 && idx <= prev {
+			panic("sparse: indices must be strictly increasing")
+		}
+		n := binary.PutUvarint(tmp[:], uint64(idx-prev))
+		out = append(out, tmp[:n]...)
+		prev = idx
+	}
+	var buf [4]byte
+	for _, v := range values {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeIndexPayload reverses EncodeIndexPayload.
+func DecodeIndexPayload(b []byte) (indices []int, values []float64, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("sparse: index payload too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint64(b[:8]))
+	b = b[8:]
+	indices = make([]int, n)
+	prev := 0
+	for i := 0; i < n; i++ {
+		d, k := binary.Uvarint(b)
+		if k <= 0 {
+			return nil, nil, fmt.Errorf("sparse: bad varint at index %d", i)
+		}
+		b = b[k:]
+		prev += int(d)
+		indices[i] = prev
+	}
+	if len(b) != 4*n {
+		return nil, nil, fmt.Errorf("sparse: index payload has %d value bytes, want %d", len(b), 4*n)
+	}
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+	}
+	return indices, values, nil
+}
+
+// BitmapPayloadBytes and IndexPayloadBytes predict encoded sizes without
+// materializing the payload, for planning which encoding to use.
+func BitmapPayloadBytes(totalParams, selected int) int {
+	return 8 + (totalParams+7)/8 + 4*selected
+}
+
+// IndexPayloadBytes assumes 2-byte average varints, the typical cost for
+// models under ~16M parameters at moderate density.
+func IndexPayloadBytes(selected int) int {
+	return 8 + 6*selected
+}

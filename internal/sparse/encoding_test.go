@@ -1,0 +1,125 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapPayloadRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int(n) + 1
+		mask := make([]bool, total)
+		var values []float64
+		for i := range mask {
+			if rng.Intn(3) == 0 {
+				mask[i] = true
+				values = append(values, float64(float32(rng.NormFloat64())))
+			}
+		}
+		b := EncodeBitmapPayload(mask, values)
+		gotMask, gotValues, err := DecodeBitmapPayload(b)
+		if err != nil {
+			return false
+		}
+		if len(gotMask) != total || len(gotValues) != len(values) {
+			return false
+		}
+		for i := range mask {
+			if mask[i] != gotMask[i] {
+				return false
+			}
+		}
+		for i := range values {
+			if values[i] != gotValues[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexPayloadRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var indices []int
+		var values []float64
+		idx := 0
+		for i := 0; i < int(n); i++ {
+			idx += 1 + rng.Intn(1000)
+			indices = append(indices, idx)
+			values = append(values, float64(float32(rng.NormFloat64())))
+		}
+		b := EncodeIndexPayload(indices, values)
+		gotIdx, gotValues, err := DecodeIndexPayload(b)
+		if err != nil {
+			return false
+		}
+		if len(gotIdx) != len(indices) {
+			return false
+		}
+		for i := range indices {
+			if indices[i] != gotIdx[i] || values[i] != gotValues[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPayloadFloat32Precision(t *testing.T) {
+	// Values survive as float32, the wire precision.
+	mask := []bool{true}
+	in := []float64{math.Pi}
+	_, out, err := DecodeBitmapPayload(EncodeBitmapPayload(mask, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != float64(float32(math.Pi)) {
+		t.Errorf("value = %v, want float32-rounded pi", out[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeBitmapPayload([]byte{1, 2}); err == nil {
+		t.Error("short bitmap payload must fail")
+	}
+	if _, _, err := DecodeIndexPayload([]byte{1}); err == nil {
+		t.Error("short index payload must fail")
+	}
+	// Truncated values section.
+	b := EncodeBitmapPayload([]bool{true, false}, []float64{1})
+	if _, _, err := DecodeBitmapPayload(b[:len(b)-1]); err == nil {
+		t.Error("truncated bitmap values must fail")
+	}
+}
+
+func TestEncodePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched mask/values must panic")
+		}
+	}()
+	EncodeBitmapPayload([]bool{true, true}, []float64{1})
+}
+
+func TestEncodingCrossover(t *testing.T) {
+	// Bitmap wins at high density, index list at low density.
+	const total = 1_000_000
+	dense := total / 2
+	sparseN := total / 1000
+	if BitmapPayloadBytes(total, dense) >= IndexPayloadBytes(dense) {
+		t.Error("bitmap should win at 50% density")
+	}
+	if IndexPayloadBytes(sparseN) >= BitmapPayloadBytes(total, sparseN) {
+		t.Error("index list should win at 0.1% density")
+	}
+}

@@ -1,0 +1,141 @@
+// Package sparse defines the client-side synchronization-strategy interface
+// of the federated engine and implements the paper's baseline algorithms:
+// FedAvg (full synchronization), CMFL (relevance-gated uploads), and APF
+// (adaptive parameter freezing). The paper's own algorithm, FedSU, lives in
+// internal/core and implements the same interface.
+package sparse
+
+import "fmt"
+
+// BytesPerValue is the wire size of one parameter value. Models train in
+// float64 but synchronize as 32-bit floats, matching the paper's setup.
+const BytesPerValue = 4
+
+// HeaderBytes approximates the fixed per-message framing cost (round id,
+// client id, lengths, checksums).
+const HeaderBytes = 64
+
+// Traffic accounts one client's communication during one synchronization.
+type Traffic struct {
+	// UpBytes and DownBytes are the payload sizes transferred.
+	UpBytes, DownBytes int
+	// SyncedParams is the number of parameter values exchanged through the
+	// server this round (model values, not error-feedback values).
+	SyncedParams int
+	// CheckedParams is the number of error-feedback values exchanged
+	// (FedSU only).
+	CheckedParams int
+	// TotalParams is the model size, the denominator for ratios.
+	TotalParams int
+}
+
+// Add accumulates o into t.
+func (t *Traffic) Add(o Traffic) {
+	t.UpBytes += o.UpBytes
+	t.DownBytes += o.DownBytes
+	t.SyncedParams += o.SyncedParams
+	t.CheckedParams += o.CheckedParams
+	t.TotalParams += o.TotalParams
+}
+
+// SparsificationRatio is the fraction of a full-model exchange saved this
+// round, computed from actual bytes so FedSU's error-feedback traffic is
+// charged against its savings: 1 − bytes/(full-model bytes).
+func (t Traffic) SparsificationRatio() float64 {
+	if t.TotalParams == 0 {
+		return 0
+	}
+	full := 2 * (t.TotalParams*BytesPerValue + HeaderBytes)
+	used := t.UpBytes + t.DownBytes
+	r := 1 - float64(used)/float64(full)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Aggregator is the server-side collective the strategies call into. All
+// clients of a round must issue the same sequence of collective calls; a
+// nil values slice abstains from contributing while still participating in
+// the collective (used by CMFL's irrelevant clients and by clients outside
+// the round's participation quorum).
+type Aggregator interface {
+	// AggregateModel submits model values for element-wise averaging across
+	// the round's contributors and returns the average. The returned slice
+	// is shared and must not be mutated.
+	AggregateModel(clientID, round int, values []float64) ([]float64, error)
+	// AggregateError does the same for FedSU error-feedback vectors.
+	AggregateError(clientID, round int, values []float64) ([]float64, error)
+}
+
+// Syncer is the per-client synchronization strategy: it consumes the
+// client's post-training parameter vector and produces the vector the next
+// round starts from, issuing whatever collective calls the strategy needs.
+//
+// contributor reports whether this client is inside the round's
+// participation quorum; non-contributors follow the identical control flow
+// (so their strategy state stays consistent with the fleet) but abstain
+// from the collectives.
+type Syncer interface {
+	// Name identifies the strategy ("fedavg", "cmfl", "apf", "fedsu").
+	Name() string
+	Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error)
+}
+
+// Factory builds one Syncer per client. Strategies receive the client id
+// and the shared aggregator.
+type Factory func(clientID int, size int, agg Aggregator) Syncer
+
+// fullExchangeTraffic is the traffic of a plain full-model round trip.
+func fullExchangeTraffic(size int) Traffic {
+	return Traffic{
+		UpBytes:      size*BytesPerValue + HeaderBytes,
+		DownBytes:    size*BytesPerValue + HeaderBytes,
+		SyncedParams: size,
+		TotalParams:  size,
+	}
+}
+
+// FedAvg synchronizes the full model every round — the paper's baseline.
+type FedAvg struct {
+	id   int
+	size int
+	agg  Aggregator
+}
+
+var _ Syncer = (*FedAvg)(nil)
+
+// NewFedAvg constructs the full-synchronization strategy.
+func NewFedAvg(clientID, size int, agg Aggregator) *FedAvg {
+	return &FedAvg{id: clientID, size: size, agg: agg}
+}
+
+// FedAvgFactory adapts NewFedAvg to the Factory signature.
+func FedAvgFactory(clientID, size int, agg Aggregator) Syncer {
+	return NewFedAvg(clientID, size, agg)
+}
+
+// Name implements Syncer.
+func (f *FedAvg) Name() string { return "fedavg" }
+
+// Sync implements Syncer.
+func (f *FedAvg) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	if len(local) != f.size {
+		return nil, Traffic{}, fmt.Errorf("fedavg: vector length %d, want %d", len(local), f.size)
+	}
+	send := local
+	if !contributor {
+		send = nil
+	}
+	global, err := f.agg.AggregateModel(f.id, round, send)
+	if err != nil {
+		return nil, Traffic{}, fmt.Errorf("fedavg: aggregate round %d: %w", round, err)
+	}
+	out := make([]float64, f.size)
+	if global == nil {
+		copy(out, local)
+	} else {
+		copy(out, global)
+	}
+	return out, fullExchangeTraffic(f.size), nil
+}

@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEMAFirstValueInitializes(t *testing.T) {
+	e := NewEMA(0.9)
+	if e.Seen() {
+		t.Fatal("fresh EMA must report not seen")
+	}
+	if got := e.Update(5); got != 5 {
+		t.Errorf("first update = %v, want 5", got)
+	}
+	if !e.Seen() {
+		t.Error("EMA must report seen after update")
+	}
+}
+
+func TestEMARecurrence(t *testing.T) {
+	e := NewEMA(0.9)
+	e.Update(10)
+	got := e.Update(0)
+	if math.Abs(got-9) > 1e-12 {
+		t.Errorf("second update = %v, want 9", got)
+	}
+	got = e.Update(9)
+	if math.Abs(got-9) > 1e-12 {
+		t.Errorf("third update = %v, want 9", got)
+	}
+}
+
+func TestEMAReset(t *testing.T) {
+	e := NewEMA(0.5)
+	e.Update(3)
+	e.Reset()
+	if e.Seen() || e.Value() != 0 {
+		t.Error("Reset must clear state")
+	}
+}
+
+// Property: the EMA of a constant sequence is that constant.
+func TestEMAConstantFixedPoint(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		e := NewEMA(0.9)
+		for i := 0; i <= int(n%50); i++ {
+			e.Update(v)
+		}
+		return math.Abs(e.Value()-v) <= 1e-9*(1+math.Abs(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the EMA stays within the min/max envelope of its inputs.
+func TestEMABoundedByInputs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEMA(0.8)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 40; i++ {
+			v := rng.NormFloat64()
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			e.Update(v)
+		}
+		return e.Value() >= lo-1e-12 && e.Value() <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	w := &Welford{}
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		w.Add(v)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d, want 8", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", w.Std())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	w := &Welford{}
+	if w.Mean() != 0 || w.Var() != 0 {
+		t.Error("empty Welford must report zeros")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+// Property: CDF.At is monotonically non-decreasing.
+func TestCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sample := make([]float64, 30)
+		for i := range sample {
+			sample[i] = rng.NormFloat64()
+		}
+		c := NewCDF(sample)
+		prev := -1.0
+		for x := -3.0; x <= 3.0; x += 0.1 {
+			v := c.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return prev <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{5, 1, 3})
+	xs, ys := c.Points(3)
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("Points(3) lengths = %d, %d", len(xs), len(ys))
+	}
+	if xs[0] != 1 || xs[2] != 5 {
+		t.Errorf("Points x = %v, want [1 _ 5]", xs)
+	}
+	if ys[0] != 0 || ys[2] != 1 {
+		t.Errorf("Points y = %v, want [0 _ 1]", ys)
+	}
+}
+
+func TestNormalizedDifference(t *testing.T) {
+	tests := []struct {
+		name   string
+		d1, d2 []float64
+		want   float64
+	}{
+		{"identical", []float64{1, 2}, []float64{1, 2}, 0},
+		{"unit-shift", []float64{3, 4}, []float64{3, 5}, 1.0 / 5},
+		{"zero-base-zero-diff", []float64{0, 0}, []float64{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NormalizedDifference(tt.d1, tt.d2); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("NormalizedDifference = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if got := NormalizedDifference([]float64{0}, []float64{1}); !math.IsInf(got, 1) {
+		t.Errorf("zero base with nonzero diff = %v, want +Inf", got)
+	}
+}
+
+func TestMeanAndPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Errorf("P100 = %v, want 4", got)
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Errorf("P50 = %v, want 2 (nearest rank)", got)
+	}
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import "fmt"
+
+// ConvParams describes a 2-D convolution or pooling geometry over NCHW
+// tensors.
+type ConvParams struct {
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutSize returns the output spatial size for an input of h×w.
+func (p ConvParams) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*p.PadH-p.KernelH)/p.StrideH + 1
+	ow = (w+2*p.PadW-p.KernelW)/p.StrideW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v yields non-positive output for input %dx%d", p, h, w))
+	}
+	return oh, ow
+}
+
+// validRange returns the [lo, hi] output-coordinate range (inclusive) for
+// which o*stride + k - pad lands inside [0, n), clamped to [0, out-1].
+// hi < lo means the range is empty.
+func validRange(k, pad, stride, n, out int) (lo, hi int) {
+	// o*stride + k - pad >= 0  →  o >= ceil((pad-k)/stride)
+	lo = divCeil(pad-k, stride)
+	if lo < 0 {
+		lo = 0
+	}
+	// o*stride + k - pad <= n-1  →  o <= floor((n-1+pad-k)/stride)
+	hi = divFloor(n-1+pad-k, stride)
+	if hi > out-1 {
+		hi = out - 1
+	}
+	return lo, hi
+}
+
+func divFloor(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func divCeil(a, b int) int { return -divFloor(-a, b) }
+
+// Im2Col unrolls an NCHW input tensor into a matrix of shape
+// (C*KH*KW) × (N*OH*OW) so convolution becomes a single MatMul. This is the
+// standard lowering used by CPU deep-learning stacks. The implementation
+// precomputes each kernel tap's valid output range so the hot loop is a
+// contiguous copy (stride 1) or a branch-free strided gather.
+func Im2Col(x *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	rows := c * p.KernelH * p.KernelW
+	cols := n * oh * ow
+	out := New(rows, cols)
+	xd, od := x.data, out.data
+	for ci := 0; ci < c; ci++ {
+		for kh := 0; kh < p.KernelH; kh++ {
+			oyLo, oyHi := validRange(kh, p.PadH, p.StrideH, h, oh)
+			for kw := 0; kw < p.KernelW; kw++ {
+				oxLo, oxHi := validRange(kw, p.PadW, p.StrideW, w, ow)
+				row := (ci*p.KernelH+kh)*p.KernelW + kw
+				dst := od[row*cols : (row+1)*cols]
+				for ni := 0; ni < n; ni++ {
+					base := (ni*c + ci) * h * w
+					for oy := 0; oy < oh; oy++ {
+						dstRow := dst[(ni*oh+oy)*ow : (ni*oh+oy+1)*ow]
+						if oy < oyLo || oy > oyHi || oxLo > oxHi {
+							for j := range dstRow {
+								dstRow[j] = 0
+							}
+							continue
+						}
+						iy := oy*p.StrideH + kh - p.PadH
+						src := xd[base+iy*w : base+(iy+1)*w]
+						for j := 0; j < oxLo; j++ {
+							dstRow[j] = 0
+						}
+						ix := oxLo*p.StrideW + kw - p.PadW
+						if p.StrideW == 1 {
+							copy(dstRow[oxLo:oxHi+1], src[ix:ix+oxHi-oxLo+1])
+						} else {
+							for ox := oxLo; ox <= oxHi; ox++ {
+								dstRow[ox] = src[ix]
+								ix += p.StrideW
+							}
+						}
+						for j := oxHi + 1; j < ow; j++ {
+							dstRow[j] = 0
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im accumulates a column matrix (as produced by Im2Col) back into an
+// NCHW tensor of the given spatial geometry; overlapping contributions are
+// summed. It is the adjoint of Im2Col and implements the convolution input
+// gradient.
+func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
+	oh, ow := p.OutSize(h, w)
+	x := New(n, c, h, w)
+	xd, cd := x.data, cols.data
+	colN := n * oh * ow
+	for ci := 0; ci < c; ci++ {
+		for kh := 0; kh < p.KernelH; kh++ {
+			oyLo, oyHi := validRange(kh, p.PadH, p.StrideH, h, oh)
+			for kw := 0; kw < p.KernelW; kw++ {
+				oxLo, oxHi := validRange(kw, p.PadW, p.StrideW, w, ow)
+				if oxLo > oxHi {
+					continue
+				}
+				row := (ci*p.KernelH+kh)*p.KernelW + kw
+				src := cd[row*colN : (row+1)*colN]
+				for ni := 0; ni < n; ni++ {
+					base := (ni*c + ci) * h * w
+					for oy := oyLo; oy <= oyHi; oy++ {
+						iy := oy*p.StrideH + kh - p.PadH
+						srcRow := src[(ni*oh+oy)*ow : (ni*oh+oy+1)*ow]
+						dst := xd[base+iy*w : base+(iy+1)*w]
+						ix := oxLo*p.StrideW + kw - p.PadW
+						if p.StrideW == 1 {
+							d := dst[ix : ix+oxHi-oxLo+1]
+							s := srcRow[oxLo : oxHi+1]
+							for j := range d {
+								d[j] += s[j]
+							}
+						} else {
+							for ox := oxLo; ox <= oxHi; ox++ {
+								dst[ix] += srcRow[ox]
+								ix += p.StrideW
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}

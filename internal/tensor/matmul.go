@@ -1,0 +1,95 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. It uses a cache-friendly ikj loop order which is the main
+// performance lever for the pure-Go training stack.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	matmulInto(c.data, a.data, b.data, m, k, n)
+	return c
+}
+
+// MatMulInto computes dst = A × B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
+	}
+	dst.Zero()
+	matmulInto(dst.data, a.data, b.data, m, k, n)
+}
+
+func matmulInto(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[i*k+p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes C = Aᵀ × B where A is k×m and B is k×n, yielding m×n.
+// It avoids materializing the transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			ci := c.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A × Bᵀ where A is m×k and B is n×k, yielding m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		ci := c.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] = s
+		}
+	}
+	return c
+}

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFull(t *testing.T) {
+	x := Full(3.5, 2, 2)
+	for _, v := range x.Data() {
+		if v != 3.5 {
+			t.Fatalf("Full value = %v", v)
+		}
+	}
+}
+
+func TestCopyFromVolumeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom with mismatched volume must panic")
+		}
+	}()
+	New(2, 2).CopyFrom(New(3))
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of bounds must panic")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestAtWrongArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At with wrong arity must panic")
+		}
+	}()
+	New(2, 2).At(1)
+}
+
+func TestStringTruncatesLargeTensors(t *testing.T) {
+	small := New(3)
+	if s := small.String(); !strings.Contains(s, "Tensor[3]") {
+		t.Errorf("String = %q", s)
+	}
+	big := New(100)
+	if s := big.String(); !strings.Contains(s, "100 elems") {
+		t.Errorf("big String should note element count, got %q", s)
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong length must panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MatMul inner mismatch must panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestFillAndZero(t *testing.T) {
+	x := Full(7, 4)
+	x.Fill(2)
+	if x.Sum() != 8 {
+		t.Errorf("Fill sum = %v", x.Sum())
+	}
+	x.Zero()
+	if x.Sum() != 0 {
+		t.Errorf("Zero sum = %v", x.Sum())
+	}
+}
+
+func TestValidRange(t *testing.T) {
+	tests := []struct {
+		name              string
+		k, pad, stride, n int
+		out               int
+		wantLo, wantHi    int
+	}{
+		{"no-pad-stride1", 0, 0, 1, 5, 3, 0, 2},
+		{"pad1-k0", 0, 1, 1, 5, 5, 1, 4},
+		{"pad1-k2", 2, 1, 1, 5, 5, 0, 3},
+		{"stride2", 0, 1, 2, 5, 3, 1, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lo, hi := validRange(tt.k, tt.pad, tt.stride, tt.n, tt.out)
+			if lo != tt.wantLo || hi != tt.wantHi {
+				t.Errorf("validRange = [%d, %d], want [%d, %d]", lo, hi, tt.wantLo, tt.wantHi)
+			}
+		})
+	}
+}
+
+func TestDivFloorCeil(t *testing.T) {
+	if divFloor(-1, 2) != -1 || divFloor(1, 2) != 0 || divFloor(-4, 2) != -2 {
+		t.Error("divFloor wrong on negatives")
+	}
+	if divCeil(-1, 2) != 0 || divCeil(1, 2) != 1 || divCeil(4, 2) != 2 {
+		t.Error("divCeil wrong")
+	}
+}

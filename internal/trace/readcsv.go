@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSVMulti parses the multi-series layout WriteCSVMulti produces:
+// header "x,name1,name2,...", rows with empty cells where a series lacks a
+// point. It returns the series and the x-axis name.
+func ReadCSVMulti(r io.Reader) ([]*Series, string, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, "", fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 2 {
+		return nil, "", fmt.Errorf("trace: need at least two columns, got %q", sc.Text())
+	}
+	series := make([]*Series, len(header)-1)
+	for i, name := range header[1:] {
+		series[i] = NewSeries(name, header[0], "value")
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		cells := strings.Split(sc.Text(), ",")
+		if len(cells) != len(header) {
+			return nil, "", fmt.Errorf("trace: line %d has %d cells, want %d", line, len(cells), len(header))
+		}
+		x, err := strconv.ParseFloat(cells[0], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("trace: line %d: bad x %q", line, cells[0])
+		}
+		for i, c := range cells[1:] {
+			if c == "" {
+				continue
+			}
+			y, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("trace: line %d: bad value %q", line, c)
+			}
+			series[i].Add(x, y)
+		}
+	}
+	return series, header[0], sc.Err()
+}

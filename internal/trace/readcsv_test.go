@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCSVMultiRoundTrip(t *testing.T) {
+	a := NewSeries("alpha", "x", "y")
+	a.Add(1, 10)
+	a.Add(3, 30)
+	b := NewSeries("beta", "x", "y")
+	b.Add(1, 100)
+	b.Add(2, 200)
+	var buf bytes.Buffer
+	if err := WriteCSVMulti(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	series, xname, err := ReadCSVMulti(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xname != "x" || len(series) != 2 {
+		t.Fatalf("xname %q series %d", xname, len(series))
+	}
+	if series[0].Name != "alpha" || series[0].Len() != 2 || series[0].Y[1] != 30 {
+		t.Errorf("alpha = %+v", series[0])
+	}
+	if series[1].Name != "beta" || series[1].Len() != 2 || series[1].Y[0] != 100 {
+		t.Errorf("beta = %+v", series[1])
+	}
+}
+
+// Property: any set of series survives a write/read cycle with every point
+// intact (x values unique per series by construction).
+func TestReadCSVMultiProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		s := NewSeries("s", "x", "y")
+		for i := 0; i <= int(n%20); i++ {
+			s.Add(float64(i), float64(i*i))
+		}
+		var buf bytes.Buffer
+		if err := WriteCSVMulti(&buf, s); err != nil {
+			return false
+		}
+		got, _, err := ReadCSVMulti(&buf)
+		if err != nil || len(got) != 1 || got[0].Len() != s.Len() {
+			return false
+		}
+		for i := range s.X {
+			if got[0].X[i] != s.X[i] || got[0].Y[i] != s.Y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVMultiErrors(t *testing.T) {
+	cases := []string{
+		"",                    // empty
+		"onlyx\n1\n",          // single column
+		"x,a\nbad,1\n",        // bad x
+		"x,a\n1,notanumber\n", // bad y
+		"x,a\n1,2,3\n",        // wrong cell count
+	}
+	for _, c := range cases {
+		if _, _, err := ReadCSVMulti(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q must fail", c)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGOptions configures WriteSVG.
+type SVGOptions struct {
+	// Title is drawn across the top.
+	Title string
+	// Width and Height are the canvas size in pixels (defaults 640×400).
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+}
+
+// svgPalette holds distinguishable line colors.
+var svgPalette = []string{
+	"#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+	"#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+}
+
+// WriteSVG renders the series as a line chart in standalone SVG. It exists
+// so the benchmark harness's figures can be inspected without any plotting
+// stack; the output is deliberately simple (linear axes, legend, grid).
+func WriteSVG(w io.Writer, opts SVGOptions, series ...*Series) error {
+	if opts.Width <= 0 {
+		opts.Width = 640
+	}
+	if opts.Height <= 0 {
+		opts.Height = 400
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Errorf("trace: no points to render")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const (
+		padL, padR = 64, 16
+		padT, padB = 40, 44
+	)
+	plotW := float64(opts.Width - padL - padR)
+	plotH := float64(opts.Height - padT - padB)
+	px := func(x float64) float64 { return padL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(opts.Height-padB) - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			padL, xmlEscape(opts.Title))
+	}
+
+	// Grid and axis labels: 5 ticks per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		gx, gy := px(fx), py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			gx, padT, gx, opts.Height-padB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padL, gy, opts.Width-padR, gy)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx, opts.Height-padB+16, fmtTick(fx))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			padL-6, gy+4, fmtTick(fy))
+	}
+	// Axis frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#666"/>`+"\n",
+		padL, padT, plotW, plotH)
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			padL+plotW/2, opts.Height-8, xmlEscape(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.0f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+			padT+plotH/2, padT+plotH/2, xmlEscape(opts.YLabel))
+	}
+
+	// Series polylines + legend.
+	for si, s := range series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		lx := padL + 8
+		ly := padT + 14 + si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+24, ly, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 10000 || (a < 0.01 && a > 0):
+		return fmt.Sprintf("%.1e", v)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVG(t *testing.T) {
+	a := NewSeries("fedsu", "time", "acc")
+	b := NewSeries("fedavg", "time", "acc")
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i), float64(i)*0.1)
+		b.Add(float64(i), float64(i)*0.05)
+	}
+	var buf bytes.Buffer
+	err := WriteSVG(&buf, SVGOptions{Title: "Fig <5>", XLabel: "time (s)", YLabel: "accuracy"}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "fedsu", "fedavg", "Fig &lt;5&gt;", "accuracy", "</svg>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestWriteSVGEmptyFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, SVGOptions{}, NewSeries("x", "a", "b")); err == nil {
+		t.Error("empty series must fail")
+	}
+}
+
+func TestWriteSVGConstantSeries(t *testing.T) {
+	s := NewSeries("flat", "x", "y")
+	s.Add(0, 1)
+	s.Add(5, 1)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, SVGOptions{}, s); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{12345, "1.2e+04"},
+		{42, "42"},
+		{0.5, "0.5"},
+		{0.001, "1.0e-03"},
+		{0, "0"},
+	}
+	for _, tt := range tests {
+		if got := fmtTick(tt.v); got != tt.want {
+			t.Errorf("fmtTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
