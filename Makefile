@@ -1,0 +1,25 @@
+# Tier-1 verification and developer loops. `make verify` is the full
+# pre-merge gate: build + tests, static vetting, and the race detector over
+# the packages with real concurrency (the worker-pool kernels and the
+# federated engine's per-client goroutines).
+
+GO ?= go
+
+.PHONY: tier1 vet race verify bench
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/tensor/... ./internal/fl/...
+
+verify: tier1 vet race
+
+# Kernel and layer microbenchmarks (see BENCH_kernels.json for the tracked
+# before/after numbers).
+bench:
+	$(GO) test ./internal/tensor/ ./internal/nn/ -run xxx -bench . -benchmem

@@ -17,8 +17,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/debug"
 	"strings"
+	"time"
 
 	"fedsu/internal/exp"
 	"fedsu/internal/trace"
@@ -68,9 +70,18 @@ func main() {
 		ids = []string{"fig1", "fig2", "table1+fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table2"}
 	}
 	for _, id := range ids {
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		if err := runExperiment(ctx, cfg, id, *outDir, *light); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		fmt.Printf("--- %s: wall %s, allocated %.1f MiB in %d objects\n",
+			id, time.Since(start).Round(time.Millisecond),
+			float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
+			after.Mallocs-before.Mallocs)
 	}
 }
 

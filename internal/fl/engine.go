@@ -3,12 +3,14 @@ package fl
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"fedsu/internal/data"
 	"fedsu/internal/netem"
 	"fedsu/internal/nn"
 	"fedsu/internal/opt"
+	"fedsu/internal/par"
 	"fedsu/internal/sparse"
 	"fedsu/internal/tensor"
 )
@@ -221,6 +223,16 @@ func (e *Engine) wireParams() int {
 // RunRound executes one full round: timing-model participant selection,
 // concurrent local training and synchronization, and evaluation.
 func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error) {
+	// Bail before spawning any training goroutines: a cancelled context must
+	// not burn a full round of local SGD first.
+	if err := ctx.Err(); err != nil {
+		return RoundStats{}, err
+	}
+	// Dynamic departures (RemoveClient) can drain the roster entirely; every
+	// aggregate below divides by the client count and probes clients[0].
+	if len(e.clients) == 0 {
+		return RoundStats{}, fmt.Errorf("fl: round %d: engine has no clients (all departed?)", e.round)
+	}
 	k := e.round
 
 	// Timing: per-client loads use the previous round's actual payload
@@ -251,14 +263,24 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 		traffic sparse.Traffic
 		err     error
 	}
+	// At most par.Workers() clients run local SGD at once: each client's
+	// training already saturates the compute kernels, so oversubscribing
+	// goroutines beyond the worker pool only adds scheduler churn and peak
+	// memory (every in-flight client holds its model's activations). The
+	// slot is released BEFORE SyncRound — the server's collectives barrier
+	// until every client submits, so holding a compute slot across the
+	// barrier would deadlock whenever clients outnumber workers.
 	results := make([]result, len(e.clients))
+	sem := make(chan struct{}, max(1, par.Workers()))
 	var wg sync.WaitGroup
 	for i := range e.clients {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			c := e.clients[i]
+			sem <- struct{}{}
 			loss := c.TrainLocal(e.cfg.LocalIters, e.cfg.BatchSize)
+			<-sem
 			tr, err := c.SyncRound(k, isParticipant[i])
 			results[i] = result{idx: i, loss: loss, traffic: tr, err: err}
 		}(i)
@@ -330,8 +352,13 @@ func (e *Engine) Run(ctx context.Context, rounds, evalEvery int) ([]RoundStats, 
 
 // EvaluateGlobal loads the current global model (client 0's post-sync
 // replica — identical across clients) into the evaluation replica and
-// scores it on the held-out set.
+// scores it on the held-out set. With an empty roster there is no global
+// model to read; both metrics come back NaN.
 func (e *Engine) EvaluateGlobal() (acc, loss float64) {
+	if len(e.clients) == 0 {
+		nan := math.NaN()
+		return nan, nan
+	}
 	e.evalModel.LoadVector(e.clients[0].model.Vector())
 	var accSum, lossSum float64
 	n := 0
@@ -345,7 +372,11 @@ func (e *Engine) EvaluateGlobal() (acc, loss float64) {
 	return accSum / float64(n), lossSum / float64(n)
 }
 
-// GlobalVector returns a copy of the current global parameter vector.
+// GlobalVector returns a copy of the current global parameter vector, or
+// nil when every client has departed.
 func (e *Engine) GlobalVector() []float64 {
+	if len(e.clients) == 0 {
+		return nil
+	}
 	return e.clients[0].model.Vector()
 }

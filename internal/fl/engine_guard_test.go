@@ -1,0 +1,58 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRunRoundCancelledContextSkipsTraining checks that a context cancelled
+// before RunRound is entered aborts immediately — no local SGD runs, so the
+// global model and the emulated clock are untouched.
+func TestRunRoundCancelledContextSkipsTraining(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 0)
+	before := e.GlobalVector()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := e.RunRound(ctx, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after := e.GlobalVector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("model changed at %d despite cancelled context", i)
+		}
+	}
+	if e.SimTime() != 0 {
+		t.Fatalf("sim time advanced to %v despite cancelled context", e.SimTime())
+	}
+}
+
+// TestZeroClientEngineFailsDescriptively drains the roster (white-box: the
+// dynamic-membership API refuses to remove the last client, but departures
+// plus failures could still leave the slice empty) and checks every
+// aggregate entry point degrades with a descriptive error instead of an
+// index-out-of-range or division-by-zero panic.
+func TestZeroClientEngineFailsDescriptively(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 0)
+	e.clients = nil
+
+	_, err := e.RunRound(context.Background(), true)
+	if err == nil {
+		t.Fatal("RunRound on a zero-client engine must fail")
+	}
+	if !strings.Contains(err.Error(), "no clients") {
+		t.Fatalf("error %q should mention the empty roster", err)
+	}
+
+	if acc, loss := e.EvaluateGlobal(); !math.IsNaN(acc) || !math.IsNaN(loss) {
+		t.Fatalf("EvaluateGlobal = (%v, %v), want NaN metrics", acc, loss)
+	}
+	if v := e.GlobalVector(); v != nil {
+		t.Fatalf("GlobalVector = %d values, want nil", len(v))
+	}
+}

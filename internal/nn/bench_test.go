@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsu/internal/tensor"
+)
+
+// BenchmarkConvForwardBackward times one training step of a mid-network
+// convolution (16→32 channels, 3×3, batch 8 at 16×16), the shape class that
+// dominates per-client wall-clock in the emulated runs. allocs/op is the
+// headline number: the im2col/col2im and gate scratch must come from the
+// arena, not the GC.
+func BenchmarkConvForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 16, 32, 3, WithPadding(1))
+	x := tensor.New(8, 16, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	grad := tensor.New(8, 32, 16, 16)
+	grad.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := conv.Forward(x, true)
+		dx := conv.Backward(grad)
+		_, _ = y, dx
+	}
+}
+
+// BenchmarkLinearForwardBackward times the fully-connected head.
+func BenchmarkLinearForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lin := NewLinear(rng, 512, 128)
+	x := tensor.New(32, 512)
+	x.RandNormal(rng, 0, 1)
+	grad := tensor.New(32, 128)
+	grad.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := lin.Forward(x, true)
+		dx := lin.Backward(grad)
+		_, _ = y, dx
+	}
+}
+
+// BenchmarkLSTMForwardBackward times a full BPTT step of the row-LSTM cell.
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lstm := NewLSTM(rng, 28, 64)
+	x := tensor.New(8, 1, 28, 28)
+	x.RandNormal(rng, 0, 1)
+	grad := tensor.New(8, 64)
+	grad.RandNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := lstm.Forward(x, true)
+		dx := lstm.Backward(grad)
+		_, _ = h, dx
+	}
+}

@@ -67,19 +67,29 @@ func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D {
 	return c
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The im2col matrix and the pre-reorder product
+// are drawn from the scratch arena: the former is retained (Backward
+// consumes then releases it), the latter is returned before Forward exits,
+// so steady-state training allocates only the NCHW output.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.p.OutSize(h, w)
-	cols := tensor.Im2Col(x, c.p) // (inC*KH*KW, N*OH*OW)
+	spatial := n * oh * ow
+	// An eval-only Forward chain never runs Backward; recycle the previous
+	// call's im2col matrix instead of leaking it from the arena.
+	if c.lastCols != nil {
+		tensor.PutScratch(c.lastCols)
+	}
+	cols := tensor.GetScratch(c.inC*c.p.KernelH*c.p.KernelW, spatial)
+	tensor.Im2ColInto(cols, x, c.p)
 	c.lastCols = cols
 	c.lastN, c.lastH, c.lastW, c.lastOH, c.lastOW = n, h, w, oh, ow
 
-	y := tensor.MatMul(c.weight.Value, cols) // (outC, N*OH*OW)
+	y := tensor.GetScratch(c.outC, spatial) // (outC, N*OH*OW)
+	tensor.MatMulInto(y, c.weight.Value, cols)
 	if c.useBias {
 		bd := c.bias.Value.Data()
 		yd := y.Data()
-		spatial := n * oh * ow
 		for oc := 0; oc < c.outC; oc++ {
 			row := yd[oc*spatial : (oc+1)*spatial]
 			b := bd[oc]
@@ -99,16 +109,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			copy(dst, src)
 		}
 	}
+	tensor.PutScratch(y)
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. All intermediates (the reordered gradient, the
+// column gradient, and the retained im2col matrix) live in the scratch
+// arena; only the returned input gradient is allocated.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, oh, ow := c.lastN, c.lastOH, c.lastOW
 	plane := oh * ow
 	spatial := n * plane
 	// Reorder grad (N, outC, OH, OW) → (outC, N*OH*OW).
-	g := tensor.New(c.outC, spatial)
+	g := tensor.GetScratch(c.outC, spatial)
 	gd, srcd := g.Data(), grad.Data()
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.outC; oc++ {
@@ -117,8 +130,8 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			copy(dst, src)
 		}
 	}
-	// dW = g × colsᵀ; cols is (K, spatial) so use MatMulTransB.
-	c.weight.Grad.Add(tensor.MatMulTransB(g, c.lastCols))
+	// dW += g × colsᵀ; cols is (K, spatial) so use the TransB accumulator.
+	tensor.MatMulTransBAcc(c.weight.Grad, g, c.lastCols)
 	if c.useBias {
 		bd := c.bias.Grad.Data()
 		for oc := 0; oc < c.outC; oc++ {
@@ -131,13 +144,18 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dCols = Wᵀ × g, W stored (outC, K): MatMulTransA.
-	dCols := tensor.MatMulTransA(c.weight.Value, g)
+	dCols := tensor.GetScratch(c.inC*c.p.KernelH*c.p.KernelW, spatial)
+	tensor.MatMulTransAInto(dCols, c.weight.Value, g)
+	tensor.PutScratch(g)
 	// The cached im2col matrix is the layer's dominant memory holding
-	// (K × N·OH·OW floats); release it as soon as backward has consumed
-	// it so deep models do not retain every layer's unrolled activations
+	// (K × N·OH·OW floats); release it as soon as backward has consumed it
+	// so deep models do not retain every layer's unrolled activations
 	// simultaneously between iterations.
+	tensor.PutScratch(c.lastCols)
 	c.lastCols = nil
-	return tensor.Col2Im(dCols, n, c.inC, c.lastH, c.lastW, c.p)
+	dx := tensor.Col2Im(dCols, n, c.inC, c.lastH, c.lastW, c.p)
+	tensor.PutScratch(dCols)
+	return dx
 }
 
 // Params implements Layer.

@@ -56,8 +56,8 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
-	// dW = xᵀ × grad
-	l.weight.Grad.Add(tensor.MatMulTransA(l.lastX, grad))
+	// dW += xᵀ × grad, accumulated in place (no temporary + Add pass).
+	tensor.MatMulTransAAcc(l.weight.Grad, l.lastX, grad)
 	// db = column sums of grad
 	gd := grad.Data()
 	bd := l.bias.Grad.Data()

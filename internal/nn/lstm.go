@@ -16,6 +16,12 @@ import (
 // The recurrent workload exists because the sparsification literature the
 // paper builds on (CMFL in particular) evaluates LSTM models; it extends
 // the paper's CNN/ResNet/DenseNet zoo with a fourth trajectory family.
+//
+// All per-step state (sliced inputs, hidden/cell trajectories, gate
+// activations) lives in persistent per-layer buffers that are regrown only
+// when the (batch, timesteps) geometry changes, and the per-step
+// pre-activation/gradient temporaries come from the tensor scratch arena,
+// so a steady-state training step allocates almost nothing.
 type LSTM struct {
 	wx *Param // (D, 4H), gate order: input, forget, cell, output
 	wh *Param // (H, 4H)
@@ -23,18 +29,15 @@ type LSTM struct {
 
 	inDim, hidden int
 
-	// Forward caches for BPTT.
-	steps []lstmStep
-	lastN int
-}
-
-type lstmStep struct {
-	x          *tensor.Tensor // (N, D)
-	hPrev      *tensor.Tensor // (N, H)
-	cPrev      *tensor.Tensor // (N, H)
-	i, f, g, o []float64      // gate activations, length N*H
-	c          *tensor.Tensor // (N, H)
-	tanhC      []float64
+	// Forward caches for BPTT, regrown on geometry change. xSteps[t] views
+	// xBuf; hStates/cStates hold the h_0..h_T / c_0..c_T trajectories
+	// (index 0 is the zero initial state); gates packs the i, f, g, o and
+	// tanh(c) activations as five consecutive N*H blocks per step.
+	xSteps         []*tensor.Tensor
+	hStates        []*tensor.Tensor
+	cStates        []*tensor.Tensor
+	gates          []float64
+	cacheN, cacheT int
 }
 
 var _ Layer = (*LSTM)(nil)
@@ -63,6 +66,43 @@ func (l *LSTM) Hidden() int { return l.hidden }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
+// ensureCaches (re)builds the persistent step buffers for a batch of n
+// sequences of `steps` timesteps. The initial h_0/c_0 states are zeroed at
+// build time and are never written afterwards, so rebuilding is only needed
+// when the geometry changes.
+func (l *LSTM) ensureCaches(n, steps int) {
+	if l.cacheN == n && l.cacheT == steps {
+		return
+	}
+	l.cacheN, l.cacheT = n, steps
+	nh := n * l.hidden
+	xBuf := make([]float64, steps*n*l.inDim)
+	hBuf := make([]float64, (steps+1)*nh)
+	cBuf := make([]float64, (steps+1)*nh)
+	l.xSteps = l.xSteps[:0]
+	l.hStates = l.hStates[:0]
+	l.cStates = l.cStates[:0]
+	for t := 0; t < steps; t++ {
+		l.xSteps = append(l.xSteps, tensor.FromSlice(xBuf[t*n*l.inDim:(t+1)*n*l.inDim], n, l.inDim))
+	}
+	for t := 0; t <= steps; t++ {
+		l.hStates = append(l.hStates, tensor.FromSlice(hBuf[t*nh:(t+1)*nh], n, l.hidden))
+		l.cStates = append(l.cStates, tensor.FromSlice(cBuf[t*nh:(t+1)*nh], n, l.hidden))
+	}
+	l.gates = make([]float64, 5*steps*nh)
+}
+
+// gateSlices returns the i, f, g, o, tanh(c) blocks for step t.
+func (l *LSTM) gateSlices(t int) (iv, fv, gv, ov, tc []float64) {
+	nh := l.cacheN * l.hidden
+	base := 5 * t * nh
+	return l.gates[base : base+nh],
+		l.gates[base+nh : base+2*nh],
+		l.gates[base+2*nh : base+3*nh],
+		l.gates[base+3*nh : base+4*nh],
+		l.gates[base+4*nh : base+5*nh]
+}
+
 // Forward implements Layer.
 func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, steps, d := x.Dim(0), x.Dim(2), x.Dim(3)
@@ -72,32 +112,27 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if d != l.inDim {
 		panic("nn: LSTM feature width mismatch")
 	}
-	l.lastN = n
-	l.steps = l.steps[:0]
-	h := tensor.New(n, l.hidden)
-	c := tensor.New(n, l.hidden)
+	l.ensureCaches(n, steps)
+
+	z := tensor.GetScratch(n, 4*l.hidden)
 	xd := x.Data()
+	bd := l.b.Value.Data()
+	H := l.hidden
 
 	for t := 0; t < steps; t++ {
-		// Slice step t into an (N, D) matrix.
-		xt := tensor.New(n, d)
+		// Slice step t into the cached (N, D) matrix.
+		xt := l.xSteps[t]
 		for ni := 0; ni < n; ni++ {
 			src := xd[(ni*steps+t)*d : (ni*steps+t+1)*d]
 			copy(xt.Data()[ni*d:(ni+1)*d], src)
 		}
-		z := tensor.MatMul(xt, l.wx.Value)
-		z.Add(tensor.MatMul(h, l.wh.Value))
+		h, c := l.hStates[t], l.cStates[t]
+		tensor.MatMulInto(z, xt, l.wx.Value)
+		tensor.MatMulAcc(z, h, l.wh.Value) // z += h × Wh, no temporary
 		zd := z.Data()
-		bd := l.b.Value.Data()
-		H := l.hidden
-		step := lstmStep{
-			x: xt, hPrev: h, cPrev: c,
-			i: make([]float64, n*H), f: make([]float64, n*H),
-			g: make([]float64, n*H), o: make([]float64, n*H),
-			tanhC: make([]float64, n*H),
-		}
-		newC := tensor.New(n, H)
-		newH := tensor.New(n, H)
+		si, sf, sg, so, stc := l.gateSlices(t)
+		newC := l.cStates[t+1]
+		newH := l.hStates[t+1]
 		for ni := 0; ni < n; ni++ {
 			zr := zd[ni*4*H : (ni+1)*4*H]
 			cPrev := c.Data()[ni*H : (ni+1)*H]
@@ -109,39 +144,44 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 				cv := fv*cPrev[j] + iv*gv
 				tc := math.Tanh(cv)
 				idx := ni*H + j
-				step.i[idx], step.f[idx], step.g[idx], step.o[idx] = iv, fv, gv, ov
-				step.tanhC[idx] = tc
+				si[idx], sf[idx], sg[idx], so[idx] = iv, fv, gv, ov
+				stc[idx] = tc
 				newC.Data()[idx] = cv
 				newH.Data()[idx] = ov * tc
 			}
 		}
-		step.c = newC
-		l.steps = append(l.steps, step)
-		h, c = newH, newC
 	}
-	return h
+	tensor.PutScratch(z)
+	// Return a copy: the cached final state will be overwritten by the next
+	// Forward, while callers own the returned tensor.
+	return l.hStates[steps].Clone()
 }
 
 // Backward implements Layer, running BPTT from the final-hidden-state
 // gradient back to the input sequence.
 func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	n, H, D := l.lastN, l.hidden, l.inDim
-	steps := len(l.steps)
+	n, H, D := l.cacheN, l.hidden, l.inDim
+	steps := l.cacheT
 	dx := tensor.New(n, 1, steps, D)
 
-	dh := grad.Clone()
-	dc := tensor.New(n, H)
+	dh := tensor.GetScratch(n, H)
+	dh.CopyFrom(grad)
+	dhNext := tensor.GetScratch(n, H)
+	dc := tensor.GetScratch(n, H)
+	dc.Zero()
+	dz := tensor.GetScratch(n, 4*H)
+	dxt := tensor.GetScratch(n, D)
+	bg := l.b.Grad.Data()
+
 	for t := steps - 1; t >= 0; t-- {
-		st := l.steps[t]
-		l.steps[t] = lstmStep{} // release as consumed
-		dz := tensor.New(n, 4*H)
+		si, sf, sg, so, stc := l.gateSlices(t)
 		dhd, dcd, dzd := dh.Data(), dc.Data(), dz.Data()
-		cPrev := st.cPrev.Data()
+		cPrev := l.cStates[t].Data()
 		for ni := 0; ni < n; ni++ {
 			for j := 0; j < H; j++ {
 				idx := ni*H + j
-				iv, fv, gv, ov := st.i[idx], st.f[idx], st.g[idx], st.o[idx]
-				tc := st.tanhC[idx]
+				iv, fv, gv, ov := si[idx], sf[idx], sg[idx], so[idx]
+				tc := stc[idx]
 				dcTotal := dcd[idx] + dhd[idx]*ov*(1-tc*tc)
 				do := dhd[idx] * tc
 				di := dcTotal * gv
@@ -155,10 +195,9 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				dcd[idx] = dcTotal * fv // flows to c_{t-1}
 			}
 		}
-		// Parameter gradients.
-		l.wx.Grad.Add(tensor.MatMulTransA(st.x, dz))
-		l.wh.Grad.Add(tensor.MatMulTransA(st.hPrev, dz))
-		bg := l.b.Grad.Data()
+		// Parameter gradients, accumulated in place.
+		tensor.MatMulTransAAcc(l.wx.Grad, l.xSteps[t], dz)
+		tensor.MatMulTransAAcc(l.wh.Grad, l.hStates[t], dz)
 		for ni := 0; ni < n; ni++ {
 			row := dzd[ni*4*H : (ni+1)*4*H]
 			for j, v := range row {
@@ -166,13 +205,19 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// Input and previous-hidden gradients.
-		dxt := tensor.MatMulTransB(dz, l.wx.Value) // (N, D)
+		tensor.MatMulTransBInto(dxt, dz, l.wx.Value) // (N, D)
 		for ni := 0; ni < n; ni++ {
 			dst := dx.Data()[(ni*steps+t)*D : (ni*steps+t+1)*D]
 			copy(dst, dxt.Data()[ni*D:(ni+1)*D])
 		}
-		dh = tensor.MatMulTransB(dz, l.wh.Value) // (N, H)
+		tensor.MatMulTransBInto(dhNext, dz, l.wh.Value) // (N, H)
+		dh, dhNext = dhNext, dh
 	}
+	tensor.PutScratch(dh)
+	tensor.PutScratch(dhNext)
+	tensor.PutScratch(dc)
+	tensor.PutScratch(dz)
+	tensor.PutScratch(dxt)
 	return dx
 }
 

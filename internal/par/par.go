@@ -1,0 +1,134 @@
+// Package par provides the process-wide bounded worker pool that every hot
+// loop in the training stack shares.
+//
+// The pool holds GOMAXPROCS long-lived workers. Parallelize splits an index
+// range into per-worker chunks and runs them on the pool; when the pool is
+// saturated — e.g. a kernel invoked from inside another parallel region, or
+// from the federated engine's per-client goroutines — chunks simply run on
+// the calling goroutine, so nested use can never deadlock and the number of
+// compute-bound goroutines stays bounded by the pool size.
+//
+// Determinism contract: Parallelize only decides *which goroutine* executes
+// a chunk, never the chunk boundaries' effect on arithmetic. Callers that
+// need bit-identical results across worker counts must make per-element
+// computation order independent of chunking; ParallelizeGrain helps by
+// aligning chunk boundaries to a fixed grain so block-structured kernels see
+// the same absolute block decomposition at every worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is one generation of workers. SetWorkers swaps the whole generation
+// atomically; stale submitters holding the old pool fall back to inline
+// execution once its workers have quit.
+type pool struct {
+	size  int
+	tasks chan func()
+	quit  chan struct{}
+}
+
+var current atomic.Pointer[pool]
+
+func init() {
+	current.Store(newPool(runtime.GOMAXPROCS(0)))
+}
+
+func newPool(n int) *pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &pool{size: n, tasks: make(chan func()), quit: make(chan struct{})}
+	// n-1 workers: the goroutine calling Parallelize is always the n-th.
+	for i := 0; i < n-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	for {
+		select {
+		case f := <-p.tasks:
+			f()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Workers returns the pool size (the maximum number of goroutines, caller
+// included, that Parallelize will use).
+func Workers() int { return current.Load().size }
+
+// SetWorkers resizes the pool and returns the previous size. It exists for
+// tests (forcing serial or oversubscribed execution) and for embedders that
+// want to reserve cores; n < 1 is clamped to 1. Concurrent in-flight
+// Parallelize calls finish on whichever pool they started with.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 1
+	}
+	old := current.Swap(newPool(n))
+	close(old.quit)
+	return old.size
+}
+
+// Parallelize runs fn over the half-open range [0, n) split into contiguous
+// chunks, one per worker, and returns when all chunks are done. fn must be
+// safe to call concurrently on disjoint ranges. n <= 0 is a no-op.
+func Parallelize(n int, fn func(lo, hi int)) { ParallelizeGrain(n, 1, fn) }
+
+// ParallelizeGrain is Parallelize with chunk boundaries aligned to multiples
+// of grain (the final chunk absorbs the tail). Kernels that process fixed
+// absolute blocks of the index space (e.g. 4-row register tiles) pass their
+// block size as the grain so the block decomposition — and therefore the
+// floating-point result — is identical at every worker count.
+func ParallelizeGrain(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := current.Load()
+	blocks := (n + grain - 1) / grain
+	chunks := p.size
+	if blocks < chunks {
+		chunks = blocks
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	// Per-chunk block count, rounded up so every chunk boundary is a grain
+	// multiple and chunk count never exceeds the worker count.
+	per := (blocks + chunks - 1) / chunks
+	step := per * grain
+
+	var wg sync.WaitGroup
+	for lo := step; lo < n; lo += step {
+		hi := lo + step
+		if hi > n {
+			hi = n
+		}
+		lo, hi := lo, hi
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			fn(lo, hi)
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			// Pool saturated (or resized away): run on this goroutine.
+			task()
+		}
+	}
+	// The caller always executes the first chunk itself.
+	fn(0, min(step, n))
+	wg.Wait()
+}

@@ -1,0 +1,119 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelizeCovers verifies every index is visited exactly once for a
+// sweep of sizes and worker counts, including n smaller than the pool.
+func TestParallelizeCovers(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	for _, w := range []int{1, 2, 4, 7} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 100, 1023} {
+			counts := make([]int32, n)
+			Parallelize(n, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("workers=%d n=%d: bad range [%d,%d)", w, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&counts[i], 1)
+				}
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", w, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelizeGrainAlignment verifies every chunk boundary except the
+// final one is a grain multiple, at several worker counts — the property
+// block-tiled kernels rely on for bit-determinism.
+func TestParallelizeGrainAlignment(t *testing.T) {
+	defer SetWorkers(SetWorkers(1))
+	for _, w := range []int{1, 2, 4, 5} {
+		SetWorkers(w)
+		for _, n := range []int{1, 4, 9, 64, 129, 1000} {
+			const grain = 4
+			var mu sync.Mutex
+			total := 0
+			ParallelizeGrain(n, grain, func(lo, hi int) {
+				if lo%grain != 0 {
+					t.Errorf("workers=%d n=%d: chunk start %d not grain-aligned", w, n, lo)
+				}
+				if hi != n && hi%grain != 0 {
+					t.Errorf("workers=%d n=%d: chunk end %d not grain-aligned", w, n, hi)
+				}
+				mu.Lock()
+				total += hi - lo
+				mu.Unlock()
+			})
+			if total != n {
+				t.Fatalf("workers=%d n=%d: covered %d indices", w, n, total)
+			}
+		}
+	}
+}
+
+// TestNestedParallelize exercises Parallelize called from inside a parallel
+// region: the inner calls must complete (inline on saturation) rather than
+// deadlock.
+func TestNestedParallelize(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	var total int64
+	Parallelize(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Parallelize(100, func(l, h int) {
+				atomic.AddInt64(&total, int64(h-l))
+			})
+		}
+	})
+	if total != 800 {
+		t.Fatalf("nested total = %d, want 800", total)
+	}
+}
+
+// TestSetWorkers checks clamping and that the previous size is reported.
+func TestSetWorkers(t *testing.T) {
+	orig := Workers()
+	defer SetWorkers(orig)
+	if prev := SetWorkers(3); prev != orig {
+		t.Fatalf("SetWorkers returned prev=%d, want %d", prev, orig)
+	}
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0), want clamp to 1", Workers())
+	}
+}
+
+// TestParallelizeConcurrentCallers runs many simultaneous Parallelize calls
+// through one small pool; under -race this doubles as the pool's data-race
+// check.
+func TestParallelizeConcurrentCallers(t *testing.T) {
+	defer SetWorkers(SetWorkers(2))
+	var wg sync.WaitGroup
+	var total int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				Parallelize(64, func(lo, hi int) {
+					atomic.AddInt64(&total, int64(hi-lo))
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 50 * 64); total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}

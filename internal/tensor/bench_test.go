@@ -1,0 +1,70 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchMatMul times C = A × B for square n×n operands. Run with -benchmem:
+// the kernel itself must not allocate beyond the output tensor.
+func benchMatMul(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(n, n)
+	a.RandNormal(rng, 0, 1)
+	bb := New(n, n)
+	bb.RandNormal(rng, 0, 1)
+	c := New(n, n)
+	b.SetBytes(int64(8 * n * n * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(c, a, bb)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B)  { benchMatMul(b, 64) }
+func BenchmarkMatMul256(b *testing.B) { benchMatMul(b, 256) }
+func BenchmarkMatMul512(b *testing.B) { benchMatMul(b, 512) }
+
+func benchMatMulTrans(b *testing.B, n int, f func(a, b *Tensor) *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(n, n)
+	a.RandNormal(rng, 0, 1)
+	bb := New(n, n)
+	bb.RandNormal(rng, 0, 1)
+	b.SetBytes(int64(8 * n * n * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(a, bb)
+	}
+}
+
+func BenchmarkMatMulTransA256(b *testing.B) { benchMatMulTrans(b, 256, MatMulTransA) }
+func BenchmarkMatMulTransB256(b *testing.B) { benchMatMulTrans(b, 256, MatMulTransB) }
+
+// BenchmarkIm2Col unrolls a CIFAR-like batch: 8×16×16×16 NCHW input with a
+// 3×3/pad-1 kernel, the geometry the conv layers hit hardest.
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(8, 16, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cols := Im2Col(x, p)
+		_ = cols
+	}
+}
+
+// BenchmarkCol2Im times the adjoint on the same geometry.
+func BenchmarkCol2Im(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(8, 16, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	p := ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	cols := Im2Col(x, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := Col2Im(cols, 8, 16, 16, 16, p)
+		_ = out
+	}
+}

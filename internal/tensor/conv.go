@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"fedsu/internal/par"
+)
 
 // ConvParams describes a 2-D convolution or pooling geometry over NCHW
 // tensors.
@@ -49,56 +53,80 @@ func divCeil(a, b int) int { return -divFloor(-a, b) }
 
 // Im2Col unrolls an NCHW input tensor into a matrix of shape
 // (C*KH*KW) × (N*OH*OW) so convolution becomes a single MatMul. This is the
-// standard lowering used by CPU deep-learning stacks. The implementation
-// precomputes each kernel tap's valid output range so the hot loop is a
-// contiguous copy (stride 1) or a branch-free strided gather.
+// standard lowering used by CPU deep-learning stacks.
 func Im2Col(x *Tensor, p ConvParams) *Tensor {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := p.OutSize(h, w)
+	out := New(c*p.KernelH*p.KernelW, n*oh*ow)
+	Im2ColInto(out, x, p)
+	return out
+}
+
+// Im2ColInto is Im2Col writing into caller-owned storage; dst must be
+// (C*KH*KW) × (N*OH*OW) and is fully overwritten (scratch-arena tensors need
+// no pre-zeroing). Output rows are independent, so the row loop parallelizes
+// over the worker pool with results identical to the serial path. Each
+// kernel tap's valid output range is precomputed so the hot loop is a
+// contiguous copy (stride 1) or a branch-free strided gather.
+func Im2ColInto(dst, x *Tensor, p ConvParams) {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := p.OutSize(h, w)
 	rows := c * p.KernelH * p.KernelW
 	cols := n * oh * ow
-	out := New(rows, cols)
-	xd, od := x.data, out.data
-	for ci := 0; ci < c; ci++ {
-		for kh := 0; kh < p.KernelH; kh++ {
-			oyLo, oyHi := validRange(kh, p.PadH, p.StrideH, h, oh)
-			for kw := 0; kw < p.KernelW; kw++ {
-				oxLo, oxHi := validRange(kw, p.PadW, p.StrideW, w, ow)
-				row := (ci*p.KernelH+kh)*p.KernelW + kw
-				dst := od[row*cols : (row+1)*cols]
-				for ni := 0; ni < n; ni++ {
-					base := (ni*c + ci) * h * w
-					for oy := 0; oy < oh; oy++ {
-						dstRow := dst[(ni*oh+oy)*ow : (ni*oh+oy+1)*ow]
-						if oy < oyLo || oy > oyHi || oxLo > oxHi {
-							for j := range dstRow {
-								dstRow[j] = 0
-							}
-							continue
-						}
-						iy := oy*p.StrideH + kh - p.PadH
-						src := xd[base+iy*w : base+(iy+1)*w]
-						for j := 0; j < oxLo; j++ {
-							dstRow[j] = 0
-						}
-						ix := oxLo*p.StrideW + kw - p.PadW
-						if p.StrideW == 1 {
-							copy(dstRow[oxLo:oxHi+1], src[ix:ix+oxHi-oxLo+1])
-						} else {
-							for ox := oxLo; ox <= oxHi; ox++ {
-								dstRow[ox] = src[ix]
-								ix += p.StrideW
-							}
-						}
-						for j := oxHi + 1; j < ow; j++ {
-							dstRow[j] = 0
-						}
+	if dst.shape[0] != rows || dst.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want %dx%d", dst.shape, rows, cols))
+	}
+	if parallelWorthwhile(int64(rows) * int64(cols)) {
+		par.Parallelize(rows, func(lo, hi int) {
+			im2colRows(dst.data, x.data, p, n, c, h, w, oh, ow, lo, hi)
+		})
+		return
+	}
+	im2colRows(dst.data, x.data, p, n, c, h, w, oh, ow, 0, rows)
+}
+
+// im2colRows fills output rows [rLo, rHi); row index r decodes to the
+// (channel, kernel-tap) pair r = (ci*KH + kh)*KW + kw. Rows write disjoint
+// slabs, so any chunking is race-free and bit-deterministic.
+func im2colRows(od, xd []float64, p ConvParams, n, c, h, w, oh, ow, rLo, rHi int) {
+	cols := n * oh * ow
+	for row := rLo; row < rHi; row++ {
+		kw := row % p.KernelW
+		kh := (row / p.KernelW) % p.KernelH
+		ci := row / (p.KernelW * p.KernelH)
+		oyLo, oyHi := validRange(kh, p.PadH, p.StrideH, h, oh)
+		oxLo, oxHi := validRange(kw, p.PadW, p.StrideW, w, ow)
+		dst := od[row*cols : (row+1)*cols]
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * h * w
+			for oy := 0; oy < oh; oy++ {
+				dstRow := dst[(ni*oh+oy)*ow : (ni*oh+oy+1)*ow]
+				if oy < oyLo || oy > oyHi || oxLo > oxHi {
+					for j := range dstRow {
+						dstRow[j] = 0
 					}
+					continue
+				}
+				iy := oy*p.StrideH + kh - p.PadH
+				src := xd[base+iy*w : base+(iy+1)*w]
+				for j := 0; j < oxLo; j++ {
+					dstRow[j] = 0
+				}
+				ix := oxLo*p.StrideW + kw - p.PadW
+				if p.StrideW == 1 {
+					copy(dstRow[oxLo:oxHi+1], src[ix:ix+oxHi-oxLo+1])
+				} else {
+					for ox := oxLo; ox <= oxHi; ox++ {
+						dstRow[ox] = src[ix]
+						ix += p.StrideW
+					}
+				}
+				for j := oxHi + 1; j < ow; j++ {
+					dstRow[j] = 0
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im accumulates a column matrix (as produced by Im2Col) back into an
@@ -106,11 +134,44 @@ func Im2Col(x *Tensor, p ConvParams) *Tensor {
 // summed. It is the adjoint of Im2Col and implements the convolution input
 // gradient.
 func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
-	oh, ow := p.OutSize(h, w)
 	x := New(n, c, h, w)
-	xd, cd := x.data, cols.data
+	Col2ImInto(x, cols, p)
+	return x
+}
+
+// Col2ImInto is Col2Im writing into caller-owned storage; dst must be an
+// NCHW tensor and is fully overwritten (each channel slab is zeroed before
+// accumulation, so scratch-arena tensors need no pre-zeroing). Channels own
+// disjoint output slabs and each channel's kernel taps are visited in a
+// fixed order, so the channel loop parallelizes with bit-identical results
+// at every worker count.
+func Col2ImInto(dst, cols *Tensor, p ConvParams) {
+	n, c, h, w := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	oh, ow := p.OutSize(h, w)
 	colN := n * oh * ow
-	for ci := 0; ci < c; ci++ {
+	rows := c * p.KernelH * p.KernelW
+	if cols.shape[0] != rows || cols.shape[1] != colN {
+		panic(fmt.Sprintf("tensor: Col2ImInto cols shape %v, want %dx%d", cols.shape, rows, colN))
+	}
+	if parallelWorthwhile(int64(rows) * int64(colN)) {
+		par.Parallelize(c, func(lo, hi int) {
+			col2imChannels(dst.data, cols.data, p, n, c, h, w, oh, ow, lo, hi)
+		})
+		return
+	}
+	col2imChannels(dst.data, cols.data, p, n, c, h, w, oh, ow, 0, c)
+}
+
+// col2imChannels accumulates channels [cLo, cHi) of the output.
+func col2imChannels(xd, cd []float64, p ConvParams, n, c, h, w, oh, ow, cLo, cHi int) {
+	colN := n * oh * ow
+	for ci := cLo; ci < cHi; ci++ {
+		for ni := 0; ni < n; ni++ {
+			slab := xd[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+			for j := range slab {
+				slab[j] = 0
+			}
+		}
 		for kh := 0; kh < p.KernelH; kh++ {
 			oyLo, oyHi := validRange(kh, p.PadH, p.StrideH, h, oh)
 			for kw := 0; kw < p.KernelW; kw++ {
@@ -144,5 +205,4 @@ func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
 			}
 		}
 	}
-	return x
 }
