@@ -1,7 +1,7 @@
 # Tier-1 verification and developer loops. `make verify` is the full
 # pre-merge gate: build + tests, static vetting, and the race detector over
-# the packages with real concurrency (the worker-pool kernels and the
-# federated engine's per-client goroutines).
+# the packages with real concurrency (the worker-pool kernels, the
+# federated engine's per-client goroutines, and the TCP coordinator).
 
 GO ?= go
 
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/tensor/... ./internal/fl/...
+	$(GO) test -race ./internal/tensor/... ./internal/fl/... ./internal/flrpc/...
 
 verify: tier1 vet race
 

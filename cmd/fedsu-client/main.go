@@ -2,17 +2,27 @@
 // trains locally with the selected synchronization strategy. Every client
 // of a session must use the same workload, scale, seed, and scheme.
 //
+// Transport failures mid-round are retried with exponential backoff and a
+// transparent reconnect-and-rejoin (-retries); -heartbeat keeps the
+// coordinator informed that a slow client is still alive. Ctrl-C cancels
+// the in-flight round cleanly instead of leaving the process parked on a
+// barrier.
+//
 // Usage:
 //
 //	fedsu-client -addr host:7070 -workload cnn -scheme fedsu -rounds 60
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"fedsu"
 	"fedsu/internal/data"
@@ -24,16 +34,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "coordinator address")
-		name     = flag.String("name", "client", "client label")
-		workload = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
-		scheme   = flag.String("scheme", "fedsu", "sync strategy: "+strings.Join(fedsu.StrategyNames(), ", "))
-		rounds   = flag.Int("rounds", 60, "training rounds")
-		iters    = flag.Int("iters", 5, "local iterations per round")
-		batch    = flag.Int("batch", 8, "mini-batch size")
-		samples  = flag.Int("samples", 1024, "synthetic dataset size (shared across the fleet)")
-		scale    = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the server)")
-		seed     = flag.Int64("seed", 1, "fleet-shared seed")
+		addr      = flag.String("addr", "127.0.0.1:7070", "coordinator address")
+		name      = flag.String("name", "client", "client label")
+		workload  = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
+		scheme    = flag.String("scheme", "fedsu", "sync strategy: "+strings.Join(fedsu.StrategyNames(), ", "))
+		rounds    = flag.Int("rounds", 60, "training rounds")
+		iters     = flag.Int("iters", 5, "local iterations per round")
+		batch     = flag.Int("batch", 8, "mini-batch size")
+		samples   = flag.Int("samples", 1024, "synthetic dataset size (shared across the fleet)")
+		scale     = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the server)")
+		seed      = flag.Int64("seed", 1, "fleet-shared seed")
+		retries   = flag.Int("retries", 4, "collective-call retries on transport failure (-1 disables)")
+		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval so the coordinator can tell slow from dead (0 disables)")
 	)
 	flag.Parse()
 
@@ -42,7 +54,11 @@ func main() {
 		fatal(err)
 	}
 
-	conn, err := fedsu.DialCoordinator(*addr, *name)
+	conn, err := fedsu.DialCoordinatorWith(*addr, fedsu.ClientConfig{
+		Name:       *name,
+		MaxRetries: *retries,
+		Heartbeat:  *heartbeat,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -71,14 +87,23 @@ func main() {
 	optimizer := opt.NewSGD(w.LR, opt.WithWeightDecay(0.001))
 	client := fl.NewClient(id, model, optimizer, shard, syncer, *seed+int64(id)*7919)
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	var total sparse.Traffic
-	rng := rand.New(rand.NewSource(*seed + int64(id)))
-	_ = rng
 	for k := 0; k < *rounds; k++ {
 		loss := client.TrainLocal(*iters, *batch)
-		tr, err := client.SyncRound(k, true)
+		tr, err := client.SyncRoundCtx(ctx, k, true)
 		if err != nil {
-			fatal(err)
+			switch {
+			case errors.Is(err, context.Canceled):
+				fmt.Println("fedsu-client: interrupted, leaving session")
+				return
+			case errors.Is(err, fedsu.ErrEvicted):
+				fatal(fmt.Errorf("evicted by coordinator at round %d (missed the collective deadline): %w", k, err))
+			default:
+				fatal(err)
+			}
 		}
 		total.Add(tr)
 		fmt.Printf("round %3d: train_loss=%.4f synced=%d/%d up=%dB\n",
@@ -87,6 +112,9 @@ func main() {
 	fmt.Printf("done: total up=%.2fMB down=%.2fMB mean sparsification=%.1f%%\n",
 		float64(total.UpBytes)/1e6, float64(total.DownBytes)/1e6,
 		100*total.SparsificationRatio())
+	if s := conn.Counters().String(); s != "" {
+		fmt.Printf("fedsu-client: %s\n", s)
+	}
 }
 
 func fatal(err error) {

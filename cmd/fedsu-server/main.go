@@ -2,9 +2,15 @@
 // (non-emulated) federated deployment. Start it first, then launch
 // fedsu-client processes pointing at its address.
 //
+// With -deadline set, each aggregation barrier closes that long after its
+// first submission: clients that have not submitted by then are evicted
+// and the round completes over the survivors, so one crashed client cannot
+// wedge the session. Clients heartbeating within -hb-grace count as slow
+// rather than dead and buy the barrier one extension.
+//
 // Usage:
 //
-//	fedsu-server -addr :7070 -clients 4 -workload cnn -scale 16
+//	fedsu-server -addr :7070 -clients 4 -workload cnn -scale 16 -deadline 30s
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"fedsu"
 	"fedsu/internal/exp"
+	"fedsu/internal/flrpc"
 )
 
 func main() {
@@ -26,6 +33,8 @@ func main() {
 		workload = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
 		scale    = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the clients)")
 		seed     = flag.Int64("seed", 1, "model seed (must match the clients)")
+		deadline = flag.Duration("deadline", 0, "collective barrier deadline; clients missing it are evicted (0 = wait forever)")
+		hbGrace  = flag.Duration("hb-grace", 0, "treat clients heard from this recently as alive at deadline expiry (0 = deadline)")
 	)
 	flag.Parse()
 
@@ -35,17 +44,41 @@ func main() {
 	}
 	size := w.Model(w.EffectiveScale(*scale), *seed+97).Size()
 
-	l, err := fedsu.StartCoordinator(*addr, *clients, size)
+	coord, err := flrpc.NewCoordinatorWith(flrpc.Config{
+		NumClients:     *clients,
+		ModelSize:      size,
+		Deadline:       *deadline,
+		HeartbeatGrace: *hbGrace,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params)\n",
-		*clients, l.Addr(), *workload, size)
+	svc, err := flrpc.Listen(*addr, coord)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params, deadline %v)\n",
+		*clients, svc.Addr(), *workload, size, *deadline)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	l.Close()
+	select {
+	case <-sig:
+		svc.Close()
+		<-svc.Done()
+	case <-svc.Done():
+		// The serve loop died on its own: surface the failure as a non-zero
+		// exit instead of hanging around with clients stranded.
+		if err := svc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if n := coord.EvictionCount(); n > 0 {
+		fmt.Printf("fedsu-server: evicted clients %v\n", coord.Evicted())
+	}
+	if s := coord.Counters().String(); s != "" {
+		fmt.Printf("fedsu-server: %s\n", s)
+	}
 	fmt.Println("fedsu-server: shutting down")
 }
 

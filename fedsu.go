@@ -27,7 +27,6 @@ package fedsu
 
 import (
 	"context"
-	"net"
 
 	"fedsu/internal/ckpt"
 	"fedsu/internal/core"
@@ -267,11 +266,35 @@ func DefaultNetworkConfig(clients int) NetworkConfig { return netem.DefaultConfi
 // StrategyNames lists the recognized scheme names.
 func StrategyNames() []string { return fl.StrategyNames() }
 
+// ErrEvicted reports that the coordinator evicted this client after a
+// missed collective deadline; match with errors.Is.
+var ErrEvicted = fl.ErrEvicted
+
+// CoordinatorConfig tunes the TCP coordinator's fault tolerance (barrier
+// deadline, heartbeat grace window).
+type CoordinatorConfig = flrpc.Config
+
+// CoordinatorService is a running coordinator: a net.Listener plus the
+// serve loop's terminal error (Err/Done).
+type CoordinatorService = flrpc.Service
+
+// ClientConfig tunes the TCP client's fault tolerance (retry budget,
+// backoff, heartbeat interval).
+type ClientConfig = flrpc.DialConfig
+
 // StartCoordinator launches the TCP aggregation coordinator for a fleet of
-// numClients training a model of modelSize parameters. Close the returned
-// listener to stop it.
-func StartCoordinator(addr string, numClients, modelSize int) (net.Listener, error) {
-	c, err := flrpc.NewCoordinator(numClients, modelSize)
+// numClients training a model of modelSize parameters, with fault
+// tolerance disabled (blocking barriers). Close the returned service to
+// stop it.
+func StartCoordinator(addr string, numClients, modelSize int) (*CoordinatorService, error) {
+	return StartCoordinatorWith(addr, CoordinatorConfig{NumClients: numClients, ModelSize: modelSize})
+}
+
+// StartCoordinatorWith launches the TCP coordinator with explicit fault
+// tolerance: a positive Deadline bounds every aggregation barrier, evicting
+// clients that miss it so one crash cannot wedge the session.
+func StartCoordinatorWith(addr string, cfg CoordinatorConfig) (*CoordinatorService, error) {
+	c, err := flrpc.NewCoordinatorWith(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +305,12 @@ func StartCoordinator(addr string, numClients, modelSize int) (net.Listener, err
 // NewManager (or any baseline strategy).
 func DialCoordinator(addr, name string) (*flrpc.Client, error) {
 	return flrpc.Dial(addr, name)
+}
+
+// DialCoordinatorWith joins a TCP session with explicit fault-tolerance
+// settings (retry/backoff budget, reconnect, heartbeats).
+func DialCoordinatorWith(addr string, cfg ClientConfig) (*flrpc.Client, error) {
+	return flrpc.DialWith(addr, cfg)
 }
 
 // Workload names accepted by SimulationConfig.

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -186,7 +187,7 @@ type Manager struct {
 	seenTotal int64
 }
 
-var _ sparse.Syncer = (*Manager)(nil)
+var _ sparse.ContextSyncer = (*Manager)(nil)
 
 // NewManager builds a FedSU manager for a model with size scalar
 // parameters.
@@ -292,6 +293,12 @@ func (m *Manager) LinearFractions() []float64 {
 // Sync implements sparse.Syncer, following Algorithm 1 and the Fig. 3
 // workflow. local is the client's post-training parameter vector x.
 func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
+	return m.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements sparse.ContextSyncer: the collectives honour ctx
+// cancellation when the aggregator supports it.
+func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
 	if len(local) != m.size {
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: vector length %d, want %d", len(local), m.size)
 	}
@@ -300,7 +307,7 @@ func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64,
 	if !m.started {
 		// Bootstrap round: full synchronization to establish the first
 		// global snapshot every later diagnosis derives from.
-		return m.bootstrap(round, local, contributor)
+		return m.bootstrap(ctx, round, local, contributor)
 	}
 
 	// Partition parameters: regular (synchronized), speculative
@@ -326,7 +333,7 @@ func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64,
 			send[j] = local[i]
 		}
 	}
-	aggModel, err := m.agg.AggregateModel(m.id, round, send)
+	aggModel, err := sparse.AggModel(ctx, m.agg, m.id, round, send)
 	if err != nil {
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: aggregate model round %d: %w", round, err)
 	}
@@ -370,7 +377,7 @@ func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64,
 				errSend[j] = m.accumErr[i]
 			}
 		}
-		aggErr, err := m.agg.AggregateError(m.id, round, errSend)
+		aggErr, err := sparse.AggError(ctx, m.agg, m.id, round, errSend)
 		if err != nil {
 			return nil, sparse.Traffic{}, fmt.Errorf("fedsu: aggregate error round %d: %w", round, err)
 		}
@@ -445,12 +452,12 @@ func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64,
 }
 
 // bootstrap performs the first full synchronization.
-func (m *Manager) bootstrap(round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
+func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
 	var send []float64
 	if contributor {
 		send = append([]float64(nil), local...)
 	}
-	agg, err := m.agg.AggregateModel(m.id, round, send)
+	agg, err := sparse.AggModel(ctx, m.agg, m.id, round, send)
 	if err != nil {
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: bootstrap aggregate: %w", err)
 	}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -103,8 +104,15 @@ func (c *Client) addProximalGrad() {
 // synchronization for the round, loads the resulting vector back into the
 // model, and returns the traffic accounting.
 func (c *Client) SyncRound(round int, contributor bool) (sparse.Traffic, error) {
+	return c.SyncRoundCtx(context.Background(), round, contributor)
+}
+
+// SyncRoundCtx is SyncRound with a context propagated into the strategy's
+// collectives (when both the strategy and the aggregator support it), so a
+// cancelled round does not leave the client parked on a barrier forever.
+func (c *Client) SyncRoundCtx(ctx context.Context, round int, contributor bool) (sparse.Traffic, error) {
 	c.model.ExtractVector(c.vec)
-	out, tr, err := c.syncer.Sync(round, c.vec, contributor)
+	out, tr, err := sparse.SyncContext(ctx, c.syncer, round, c.vec, contributor)
 	if err != nil {
 		return sparse.Traffic{}, fmt.Errorf("client %d: %w", c.ID, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"fedsu/internal/data"
 	"fedsu/internal/netem"
@@ -50,6 +51,12 @@ type Config struct {
 	// accounting, letting scaled-down models report paper-scale traffic.
 	// Zero means the actual model size.
 	WireParams int
+	// CollectiveDeadline bounds each aggregation barrier: a client that
+	// fails to submit within the deadline of the first submission is
+	// evicted and the round completes over the survivors. Zero (the
+	// default, and the emulation's normal setting — in-process clients
+	// cannot die) keeps blocking barriers.
+	CollectiveDeadline time.Duration
 }
 
 // DefaultConfig returns the paper's training hyper-parameters at a reduced
@@ -90,6 +97,12 @@ type RoundStats struct {
 	PredictableFraction float64
 	// Participants is the quorum size used for aggregation.
 	Participants int
+	// Evicted is the number of clients evicted from the roster this round
+	// after missing a collective deadline (zero without a deadline).
+	Evicted int
+	// Timeouts is the number of collectives this round that were closed by
+	// deadline expiry instead of filling naturally.
+	Timeouts int
 }
 
 // Engine drives an emulated federated run.
@@ -145,6 +158,9 @@ func NewEngine(cfg Config, builder nn.Builder, ds *data.Dataset, factory sparse.
 
 	probe := builder()
 	server := NewServer(cfg.NumClients)
+	if cfg.CollectiveDeadline > 0 {
+		server.SetDeadline(cfg.CollectiveDeadline)
+	}
 	shards := data.PartitionDirichlet(ds, cfg.NumClients, cfg.DirichletAlpha, cfg.Seed)
 
 	e := &Engine{
@@ -254,11 +270,19 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 		isParticipant[slot] = true
 		participantIDs = append(participantIDs, e.clients[slot].ID)
 	}
+	// The roster (who must reach every barrier) is the full client set by
+	// stable id — distinct from the participation quorum, and necessary
+	// once dynamic join/leave makes ids diverge from {0..n-1}.
+	roster := make([]int, len(e.clients))
+	for i, c := range e.clients {
+		roster[i] = c.ID
+	}
+	e.server.SetRoster(roster)
 	e.server.BeginRound(k, participantIDs)
+	evictionsBefore, timeoutsBefore := e.server.EvictionCount(), e.server.TimeoutCount()
 
 	// Concurrent local training + synchronization.
 	type result struct {
-		idx     int
 		loss    float64
 		traffic sparse.Traffic
 		err     error
@@ -281,14 +305,11 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 			sem <- struct{}{}
 			loss := c.TrainLocal(e.cfg.LocalIters, e.cfg.BatchSize)
 			<-sem
-			tr, err := c.SyncRound(k, isParticipant[i])
-			results[i] = result{idx: i, loss: loss, traffic: tr, err: err}
+			tr, err := c.SyncRoundCtx(ctx, k, isParticipant[i])
+			results[i] = result{loss: loss, traffic: tr, err: err}
 		}(i)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return RoundStats{}, err
-	}
 
 	stats := RoundStats{Round: k, Participants: len(outcome.Participants)}
 	var trafficTotal sparse.Traffic
@@ -318,6 +339,19 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	stats.Duration = outcome.Duration
 	e.simTime += outcome.Duration
 	stats.SimTime = e.simTime
+	stats.Evicted = e.server.EvictionCount() - evictionsBefore
+	stats.Timeouts = e.server.TimeoutCount() - timeoutsBefore
+
+	if err := ctx.Err(); err != nil {
+		// Cancelled after every client already synchronized: the round is
+		// complete server-side, so finish the bookkeeping (round counter,
+		// prevLoads, simTime are all updated above) and only skip
+		// evaluation. Returning without advancing e.round here would leave
+		// checkpoint-resume replaying a round the fleet already applied.
+		stats.Accuracy, stats.Loss = -1, -1
+		e.round++
+		return stats, err
+	}
 
 	if evaluate {
 		acc, loss := e.EvaluateGlobal()

@@ -1,0 +1,112 @@
+package fl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"fedsu/internal/data"
+	"fedsu/internal/nn"
+	"fedsu/internal/sparse"
+)
+
+// countingSyncer embeds the Syncer interface (deliberately NOT
+// ContextSyncer, so SyncContext falls back to the plain path) and cancels
+// the shared context once every client of the round has synchronized —
+// modeling a cancellation that lands after the collective completed but
+// before evaluation.
+type countingSyncer struct {
+	sparse.Syncer
+	done   *atomic.Int64
+	quorum int64
+	cancel context.CancelFunc
+}
+
+func (c *countingSyncer) Sync(round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
+	out, tr, err := c.Syncer.Sync(round, local, contributor)
+	if c.done.Add(1) == c.quorum {
+		c.cancel()
+	}
+	return out, tr, err
+}
+
+// Cancelling mid-round after all clients synced must still advance the
+// round counter and per-round state, so a checkpoint taken afterwards
+// resumes at the NEXT round instead of replaying one the fleet already
+// applied.
+func TestRunRoundCancelAfterSyncKeepsStateConsistent(t *testing.T) {
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tiny", Channels: 1, Size: 8, Classes: 4,
+		Samples: 512, Noise: 0.2, Jitter: 1, Seed: 11,
+	})
+	cfg := Config{
+		NumClients:     4,
+		LocalIters:     2,
+		BatchSize:      8,
+		LR:             0.05,
+		WeightDecay:    0.0005,
+		DirichletAlpha: 1.0,
+		EvalSamples:    128,
+		EvalBatch:      64,
+		Seed:           3,
+	}
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 4, Seed: 5}, 24)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var synced atomic.Int64
+	factory := func(id, size int, agg sparse.Aggregator) sparse.Syncer {
+		return &countingSyncer{
+			Syncer: sparse.NewFedAvg(id, size, agg),
+			done:   &synced,
+			quorum: int64(cfg.NumClients),
+			cancel: cancel,
+		}
+	}
+	e, err := NewEngine(cfg, builder, ds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := e.RunRound(ctx, true)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunRound error = %v, want context.Canceled", err)
+	}
+	if stats.Round != 0 {
+		t.Errorf("stats.Round = %d, want 0", stats.Round)
+	}
+	if stats.Accuracy != -1 || stats.Loss != -1 {
+		t.Errorf("cancelled round must skip evaluation, got acc=%v loss=%v", stats.Accuracy, stats.Loss)
+	}
+	if stats.Duration <= 0 || stats.SimTime <= 0 {
+		t.Errorf("cancelled-but-complete round must account time, got %v/%v", stats.Duration, stats.SimTime)
+	}
+	if c := e.Checkpoint(); c.Round != 1 {
+		t.Errorf("checkpoint Round = %d after a completed round, want 1", c.Round)
+	}
+
+	// A fresh context resumes at round 1, not a replay of round 0.
+	stats2, err := e.RunRound(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Round != 1 {
+		t.Errorf("resumed round = %d, want 1", stats2.Round)
+	}
+}
+
+// A context cancelled before RunRound starts must not burn a round of
+// local training: no state changes, bare ctx error out.
+func TestRunRoundCancelledBeforeStart(t *testing.T) {
+	e, _ := tinyEngine(t, "fedavg", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunRound(ctx, false); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunRound error = %v, want context.Canceled", err)
+	}
+	if c := e.Checkpoint(); c.Round != 1 {
+		t.Errorf("checkpoint Round = %d, want 1 (unchanged by the aborted round)", c.Round)
+	}
+}

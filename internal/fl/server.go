@@ -5,9 +5,32 @@
 package fl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
+
+// ErrEvicted reports that a client was evicted from the session after
+// missing a collective deadline; its late submissions are rejected rather
+// than corrupting a later round. Match with errors.Is.
+var ErrEvicted = errors.New("evicted from session")
+
+// EvictedError carries the evicted client's id; it unwraps to ErrEvicted.
+type EvictedError struct {
+	ClientID int
+}
+
+// Error implements error. The "evicted from session" marker is part of the
+// wire contract: net/rpc flattens errors to strings, and flrpc recovers
+// the typed error by matching it.
+func (e *EvictedError) Error() string {
+	return fmt.Sprintf("fl: client %d evicted from session (missed collective deadline)", e.ClientID)
+}
+
+// Unwrap makes errors.Is(err, ErrEvicted) hold.
+func (e *EvictedError) Unwrap() error { return ErrEvicted }
 
 // Server is the in-process aggregation service. Each collective
 // (model-average or error-average, per round) is a barrier: every client of
@@ -17,12 +40,37 @@ import (
 // Submission order across clients is arbitrary (clients run in goroutines),
 // but results are deterministic: contributions are summed in client-id
 // order once the barrier fills.
+//
+// # Fault tolerance
+//
+// With a deadline set (SetDeadline), a barrier that does not fill within
+// the deadline of its first submission closes with the submissions it has:
+// the missing clients are evicted from the roster, the mean is computed
+// over the actual contributors, and later submissions from evicted clients
+// fail with ErrEvicted. An alive probe (SetAliveProbe) grants one deadline
+// extension when a missing client still heartbeats — distinguishing slow
+// from dead — so the worst-case barrier span is two deadlines. With no
+// deadline (the default) barriers block until they fill, exactly the
+// pre-fault-tolerance behaviour.
 type Server struct {
 	mu           sync.Mutex
 	numClients   int
 	participants map[int]bool
 	round        int
 	ops          map[opKey]*op
+
+	// roster is the set of client ids expected at every barrier; nil means
+	// the implied roster {0..numClients-1}. Evicted ids are removed.
+	roster  map[int]bool
+	evicted map[int]bool
+
+	deadline   time.Duration
+	aliveProbe func(clientID int) bool
+	idempotent bool
+
+	// Cumulative fault counters (see EvictionCount / TimeoutCount).
+	evictions int
+	timeouts  int
 }
 
 type opKey struct {
@@ -31,13 +79,17 @@ type opKey struct {
 }
 
 type op struct {
-	need    int
-	subs    int
-	byID    map[int][]float64
-	ids     []int
-	result  []float64
-	done    chan struct{}
-	failure error
+	need     int
+	subs     int
+	byID     map[int][]float64
+	ids      []int
+	pending  map[int]bool
+	result   []float64
+	done     chan struct{}
+	finished bool
+	failure  error
+	timer    *time.Timer
+	extended bool
 }
 
 // NewServer constructs a server expecting numClients submissions per
@@ -46,8 +98,95 @@ func NewServer(numClients int) *Server {
 	return &Server{
 		numClients:   numClients,
 		participants: map[int]bool{},
+		evicted:      map[int]bool{},
 		ops:          map[opKey]*op{},
 	}
+}
+
+// SetDeadline bounds every collective barrier: d after the first submission
+// arrives, the barrier closes with whoever has submitted and evicts the
+// rest. Zero (the default) disables the bound and restores blocking
+// barriers. It must not be called while collectives are in flight.
+func (s *Server) SetDeadline(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deadline = d
+}
+
+// SetAliveProbe installs a liveness oracle consulted when a deadline
+// expires: a missing-but-alive client (a slow straggler, per its
+// heartbeats) buys the barrier one extension of the same deadline before
+// eviction proceeds. A nil probe (the default) treats every missing client
+// as dead.
+func (s *Server) SetAliveProbe(probe func(clientID int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.aliveProbe = probe
+}
+
+// SetIdempotent makes duplicate submissions benign: a client resubmitting
+// to a collective it already joined (a retry after a dropped connection)
+// waits for and receives the collective result instead of an error. The
+// first submission's values win. The default (false) keeps strict
+// double-submit errors, which catch strategy bugs in-process.
+func (s *Server) SetIdempotent(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idempotent = v
+}
+
+// SetRoster declares the client ids expected at every barrier, replacing
+// the implied {0..numClients-1}. Already-evicted ids are ignored until
+// readmitted. It must not be called while collectives are in flight.
+func (s *Server) SetRoster(ids []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.roster = make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if !s.evicted[id] {
+			s.roster[id] = true
+		}
+	}
+}
+
+// Readmit clears a client's evicted status (a rejoin after reconnecting);
+// it re-enters the roster at the next SetRoster/op creation.
+func (s *Server) Readmit(clientID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted[clientID] {
+		delete(s.evicted, clientID)
+		if s.roster != nil {
+			s.roster[clientID] = true
+		}
+	}
+}
+
+// Evicted returns the currently evicted client ids in ascending order.
+func (s *Server) Evicted() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.evicted))
+	for id := range s.evicted {
+		out = append(out, id)
+	}
+	sortInts(out)
+	return out
+}
+
+// EvictionCount returns the cumulative number of deadline evictions.
+func (s *Server) EvictionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// TimeoutCount returns the cumulative number of collectives closed by
+// deadline expiry.
+func (s *Server) TimeoutCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeouts
 }
 
 // BeginRound declares the active round and the participation quorum: only
@@ -67,7 +206,10 @@ func (s *Server) BeginRound(round int, participants []int) {
 	// released its waiters, and waiters hold direct op pointers), and a
 	// checkpoint restore may legitimately replay an earlier round index,
 	// so the whole map is cleared rather than just older rounds.
-	for k := range s.ops {
+	for k, o := range s.ops {
+		if o.timer != nil {
+			o.timer.Stop()
+		}
 		delete(s.ops, k)
 	}
 }
@@ -83,29 +225,75 @@ func (s *Server) SetNumClients(n int) {
 
 // AggregateModel implements sparse.Aggregator.
 func (s *Server) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
-	return s.aggregate(clientID, round, "model", values)
+	return s.aggregate(context.Background(), clientID, round, "model", values)
 }
 
 // AggregateError implements sparse.Aggregator.
 func (s *Server) AggregateError(clientID, round int, values []float64) ([]float64, error) {
-	return s.aggregate(clientID, round, "error", values)
+	return s.aggregate(context.Background(), clientID, round, "error", values)
 }
 
-func (s *Server) aggregate(clientID, round int, kind string, values []float64) ([]float64, error) {
+// AggregateModelCtx implements sparse.ContextAggregator: the barrier wait
+// aborts with ctx.Err() on cancellation. The submission itself stays
+// registered, so the collective still completes for the other clients.
+func (s *Server) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return s.aggregate(ctx, clientID, round, "model", values)
+}
+
+// AggregateErrorCtx implements sparse.ContextAggregator.
+func (s *Server) AggregateErrorCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return s.aggregate(ctx, clientID, round, "error", values)
+}
+
+// rosterPending returns the not-yet-submitted set for a fresh op: the
+// explicit roster when set, else the implied {0..numClients-1}, minus
+// evicted ids. Caller holds s.mu.
+func (s *Server) rosterPending() map[int]bool {
+	pending := make(map[int]bool, s.numClients)
+	if s.roster != nil {
+		for id := range s.roster {
+			pending[id] = true
+		}
+		return pending
+	}
+	for id := 0; id < s.numClients; id++ {
+		if !s.evicted[id] {
+			pending[id] = true
+		}
+	}
+	return pending
+}
+
+func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string, values []float64) ([]float64, error) {
 	s.mu.Lock()
+	if s.evicted[clientID] {
+		s.mu.Unlock()
+		return nil, &EvictedError{ClientID: clientID}
+	}
 	key := opKey{round: round, kind: kind}
 	o, ok := s.ops[key]
 	if !ok {
+		pending := s.rosterPending()
 		o = &op{
-			need: s.numClients,
-			byID: map[int][]float64{},
-			done: make(chan struct{}),
+			need:    len(pending),
+			byID:    map[int][]float64{},
+			pending: pending,
+			done:    make(chan struct{}),
+		}
+		if s.deadline > 0 {
+			o.timer = time.AfterFunc(s.deadline, func() { s.expire(key) })
 		}
 		s.ops[key] = o
 	}
 	if _, dup := o.byID[clientID]; dup {
+		if !s.idempotent {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("fl: client %d double-submitted %s collective of round %d", clientID, kind, round)
+		}
+		// Retry after a dropped connection: the first submission is already
+		// in the barrier; just wait for (or return) the result.
 		s.mu.Unlock()
-		return nil, fmt.Errorf("fl: client %d double-submitted %s collective of round %d", clientID, kind, round)
+		return s.wait(ctx, o)
 	}
 	if values != nil && s.participants[clientID] {
 		o.byID[clientID] = values
@@ -113,22 +301,93 @@ func (s *Server) aggregate(clientID, round int, kind string, values []float64) (
 	} else {
 		o.byID[clientID] = nil
 	}
+	delete(o.pending, clientID)
 	o.subs++
-	if o.subs == o.need {
+	if o.subs >= o.need {
 		o.finish()
 	}
 	s.mu.Unlock()
 
-	<-o.done
+	return s.wait(ctx, o)
+}
+
+// wait blocks until the op completes or ctx is cancelled.
+func (s *Server) wait(ctx context.Context, o *op) ([]float64, error) {
+	select {
+	case <-o.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	if o.failure != nil {
 		return nil, o.failure
 	}
 	return o.result, nil
 }
 
+// expire closes a deadline-expired barrier: every pending client is either
+// granted one collective-wide extension (if the alive probe vouches for
+// any of them and none was granted yet) or evicted, after which the mean
+// is computed over the actual contributors. Evicting a client also removes
+// it from every other in-flight collective so a dead client cannot stall
+// the round's remaining barriers for another full deadline.
+func (s *Server) expire(key opKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.ops[key]
+	if o == nil || o.finished || len(o.pending) == 0 {
+		return
+	}
+	if !o.extended && s.aliveProbe != nil {
+		for id := range o.pending {
+			if s.aliveProbe(id) {
+				o.extended = true
+				o.timer.Reset(s.deadline)
+				return
+			}
+		}
+	}
+	s.timeouts++
+	for id := range o.pending {
+		s.evictLocked(id)
+	}
+}
+
+// evictLocked removes a client from the roster and from every in-flight
+// collective, finishing barriers that now have all remaining submissions.
+// Caller holds s.mu.
+func (s *Server) evictLocked(clientID int) {
+	if s.evicted[clientID] {
+		return
+	}
+	s.evicted[clientID] = true
+	s.evictions++
+	delete(s.roster, clientID)
+	delete(s.participants, clientID)
+	for _, o := range s.ops {
+		if o.finished || !o.pending[clientID] {
+			continue
+		}
+		delete(o.pending, clientID)
+		o.need--
+		if o.subs >= o.need {
+			if o.timer != nil {
+				o.timer.Stop()
+			}
+			o.finish()
+		}
+	}
+}
+
 // finish computes the mean over contributors in client-id order and
 // releases all waiters. Caller holds s.mu.
 func (o *op) finish() {
+	if o.finished {
+		return
+	}
+	o.finished = true
+	if o.timer != nil {
+		o.timer.Stop()
+	}
 	defer close(o.done)
 	if len(o.ids) == 0 {
 		o.result = nil

@@ -1,0 +1,334 @@
+package flrpc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"fedsu/internal/sparse"
+	"fedsu/internal/trace"
+)
+
+// DialConfig tunes the client's fault-tolerance behaviour. The zero value
+// of every field selects a sensible default.
+type DialConfig struct {
+	// Name is a human-readable client label (diagnostics only).
+	Name string
+	// MaxRetries is how many times a collective call is retried after a
+	// transport failure (reconnecting and rejoining in between) before the
+	// error is surfaced. Default 4. Negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff interval; it doubles per retry (with
+	// jitter) up to RetryMax. Defaults 100ms and 3s.
+	RetryBase, RetryMax time.Duration
+	// DialTimeout bounds each TCP connect. Default 5s.
+	DialTimeout time.Duration
+	// Heartbeat, when positive, sends a Ping on that interval so the
+	// coordinator can tell a slow client from a dead one. Zero disables
+	// heartbeats.
+	Heartbeat time.Duration
+}
+
+func (c *DialConfig) fillDefaults() {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 3 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+}
+
+// Client is the client-side handle: a sparse.Aggregator backed by TCP,
+// with retry + exponential backoff + jitter and transparent
+// reconnect-and-rejoin on transport failures. It also implements
+// sparse.ContextAggregator, so strategies can abort a blocked collective
+// through context cancellation.
+type Client struct {
+	addr     string
+	cfg      DialConfig
+	counters *trace.Counters
+
+	mu     sync.Mutex
+	rpc    *rpc.Client
+	joined bool
+	closed bool
+	id     int
+	size   int
+	n      int
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+var (
+	_ sparse.Aggregator        = (*Client)(nil)
+	_ sparse.ContextAggregator = (*Client)(nil)
+)
+
+// Dial connects to a coordinator and joins the session with default
+// fault-tolerance settings and no heartbeat.
+func Dial(addr, name string) (*Client, error) {
+	return DialWith(addr, DialConfig{Name: name})
+}
+
+// DialWith connects to a coordinator with explicit fault-tolerance
+// settings. The initial dial and join fail fast (no retry): a wrong
+// address or a full session should surface immediately.
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	cfg.fillDefaults()
+	c := &Client{addr: addr, cfg: cfg, counters: trace.NewCounters()}
+	if _, err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+	if cfg.Heartbeat > 0 {
+		c.hbStop = make(chan struct{})
+		c.hbDone = make(chan struct{})
+		go c.heartbeatLoop()
+	}
+	return c, nil
+}
+
+// ensureConn returns the live connection, dialing and (re)joining first if
+// the previous one was lost.
+func (c *Client) ensureConn() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("flrpc: client closed")
+	}
+	if c.rpc != nil {
+		return c.rpc, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("flrpc: dial %s: %w", c.addr, err)
+	}
+	rc := rpc.NewClient(conn)
+	args := JoinArgs{Name: c.cfg.Name}
+	if c.joined {
+		args.Rejoin = true
+		args.ClientID = c.id
+		c.counters.Inc("reconnects")
+	}
+	var reply JoinReply
+	if err := rc.Call(ServiceName+".Join", args, &reply); err != nil {
+		rc.Close()
+		return nil, fmt.Errorf("flrpc: join: %w", err)
+	}
+	if c.joined && reply.ClientID != c.id {
+		rc.Close()
+		return nil, fmt.Errorf("flrpc: rejoined as client %d, was %d", reply.ClientID, c.id)
+	}
+	c.rpc = rc
+	c.id, c.size, c.n = reply.ClientID, reply.ModelSize, reply.NumClients
+	c.joined = true
+	return rc, nil
+}
+
+// invalidate discards rc (closing it) if it is still the current
+// connection, so the next call reconnects.
+func (c *Client) invalidate(rc *rpc.Client) {
+	c.mu.Lock()
+	if c.rpc == rc {
+		c.rpc = nil
+	}
+	c.mu.Unlock()
+	rc.Close()
+}
+
+// do issues one RPC, honouring ctx cancellation while the call is in
+// flight (the underlying connection keeps draining the reply).
+func (c *Client) do(ctx context.Context, rc *rpc.Client, method string, args, reply any) error {
+	call := rc.Go(method, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case done := <-call.Done:
+		return done.Error
+	}
+}
+
+// heartbeatLoop pings the coordinator on the configured interval until
+// Close, reconnecting through the shared ensureConn path on failure.
+func (c *Client) heartbeatLoop() {
+	defer close(c.hbDone)
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+			rc, err := c.ensureConn()
+			if err != nil {
+				c.counters.Inc("heartbeat_failures")
+				continue
+			}
+			var reply PingReply
+			if err := rc.Call(ServiceName+".Ping", PingArgs{ClientID: c.ClientID()}, &reply); err != nil {
+				c.counters.Inc("heartbeat_failures")
+				if _, app := err.(rpc.ServerError); !app {
+					c.invalidate(rc)
+				}
+			}
+		}
+	}
+}
+
+// ClientID returns the coordinator-assigned id.
+func (c *Client) ClientID() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.id
+}
+
+// NumClients returns the session size.
+func (c *Client) NumClients() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ModelSize returns the expected parameter-vector length.
+func (c *Client) ModelSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Counters exposes the client's operational counters (retries,
+// reconnects, heartbeat_failures).
+func (c *Client) Counters() *trace.Counters { return c.counters }
+
+// Close releases the connection and stops the heartbeat.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	rc := c.rpc
+	c.rpc = nil
+	hbStop := c.hbStop
+	c.mu.Unlock()
+	if hbStop != nil {
+		close(hbStop)
+		<-c.hbDone
+	}
+	if rc != nil {
+		return rc.Close()
+	}
+	return nil
+}
+
+// AggregateModel implements sparse.Aggregator over the wire.
+func (c *Client) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	return c.call(context.Background(), "model", clientID, round, values)
+}
+
+// AggregateError implements sparse.Aggregator over the wire.
+func (c *Client) AggregateError(clientID, round int, values []float64) ([]float64, error) {
+	return c.call(context.Background(), "error", clientID, round, values)
+}
+
+// AggregateModelCtx implements sparse.ContextAggregator.
+func (c *Client) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return c.call(ctx, "model", clientID, round, values)
+}
+
+// AggregateErrorCtx implements sparse.ContextAggregator.
+func (c *Client) AggregateErrorCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return c.call(ctx, "error", clientID, round, values)
+}
+
+// call submits to a collective, retrying transport failures with
+// exponential backoff + jitter and transparent reconnect-and-rejoin.
+// Application-level errors (eviction, unknown kind, length mismatch) are
+// terminal: retrying them cannot succeed.
+func (c *Client) call(ctx context.Context, kind string, clientID, round int, values []float64) ([]float64, error) {
+	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
+	backoff := c.cfg.RetryBase
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.counters.Inc("retries")
+			if err := sleepCtx(ctx, jitter(backoff)); err != nil {
+				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, err)
+			}
+			backoff *= 2
+			if backoff > c.cfg.RetryMax {
+				backoff = c.cfg.RetryMax
+			}
+		}
+		rc, err := c.ensureConn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var reply AggReply
+		err = c.do(ctx, rc, ServiceName+".Aggregate", args, &reply)
+		if err == nil {
+			if reply.Nil {
+				return nil, nil
+			}
+			if reply.Values == nil {
+				// gob flattened a non-nil empty result to nil in transit;
+				// reply.Nil is the source of truth for "no contributors".
+				return []float64{}, nil
+			}
+			return reply.Values, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, ctx.Err())
+		}
+		if se, ok := err.(rpc.ServerError); ok {
+			if strings.Contains(se.Error(), evictedMarker) {
+				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %s: %w", kind, round, se, ErrEvicted)
+			}
+			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %s", kind, round, se)
+		}
+		// Transport failure: drop the connection and retry; the rejoin on
+		// reconnect plus the coordinator's idempotent resubmission makes
+		// the retried call safe even if the first submission landed.
+		lastErr = err
+		c.invalidate(rc)
+	}
+	return nil, fmt.Errorf("flrpc: aggregate %s round %d after %d retries: %w", kind, round, c.cfg.MaxRetries, lastErr)
+}
+
+// jitter spreads a backoff interval over [d/2, d) so a fleet knocked over
+// by the same fault does not reconnect in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -7,25 +7,55 @@
 // The in-process engine (internal/fl) and this package share the exact same
 // strategy code: a FedSU manager cannot tell whether its Aggregator is the
 // in-process server or a TCP connection.
+//
+// # Fault tolerance
+//
+// A coordinator built with a Deadline closes each collective barrier a
+// deadline after its first submission arrives: clients that have not
+// submitted by then are evicted, the mean is computed over the actual
+// contributors, and late submissions from evicted clients fail with
+// fl.ErrEvicted instead of corrupting a later round. Client heartbeats
+// (Ping) let the coordinator distinguish slow from dead — a missing client
+// with a fresh heartbeat buys the barrier one deadline extension. The
+// Client retries transient transport failures with exponential backoff and
+// jitter, transparently reconnecting and rejoining by id; the coordinator
+// treats a resubmission after reconnect idempotently.
 package flrpc
 
 import (
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"fedsu/internal/fl"
+	"fedsu/internal/trace"
 )
 
 // ServiceName is the registered net/rpc service.
 const ServiceName = "FedSU"
 
+// ErrEvicted aliases fl.ErrEvicted: the coordinator evicted this client
+// after a missed collective deadline. Match with errors.Is.
+var ErrEvicted = fl.ErrEvicted
+
+// evictedMarker recovers the typed eviction error from the flattened
+// string net/rpc delivers; it must match fl.EvictedError's message.
+const evictedMarker = "evicted from session"
+
 // JoinArgs identifies a joining client.
 type JoinArgs struct {
 	// Name is a human-readable client label (diagnostics only).
 	Name string
+	// Rejoin requests re-admission of a previously assigned id after a
+	// reconnect; ClientID carries that id. The coordinator clears the
+	// client's evicted status (if any) so it re-enters the roster at the
+	// next round's barriers.
+	Rejoin   bool
+	ClientID int
 }
 
 // JoinReply assigns the client its id and describes the session.
@@ -39,14 +69,24 @@ type JoinReply struct {
 	ModelSize int
 }
 
+// PingArgs is a client heartbeat.
+type PingArgs struct {
+	ClientID int
+}
+
+// PingReply acknowledges a heartbeat.
+type PingReply struct{}
+
 // AggArgs is one collective submission.
 type AggArgs struct {
 	ClientID int
 	Round    int
 	// Kind selects the collective: "model" or "error".
 	Kind string
-	// Values is the contribution; Abstain true submits nil (participate in
-	// the barrier without contributing).
+	// Values is the contribution. Abstain — not a nil Values — is the wire
+	// truth for abstention: gob flattens a non-nil empty slice to nil in
+	// transit, so a zero-length contribution is indistinguishable from nil
+	// on arrival.
 	Values  []float64
 	Abstain bool
 }
@@ -54,73 +94,180 @@ type AggArgs struct {
 // AggReply returns the collective result.
 type AggReply struct {
 	// Values is the element-wise mean over contributors; Nil reports that
-	// no client contributed.
+	// no client contributed (again the wire truth, since gob cannot carry
+	// the nil-vs-empty distinction in Values).
 	Values []float64
 	Nil    bool
+}
+
+// Config assembles a fault-tolerant coordinator.
+type Config struct {
+	// NumClients is the session size.
+	NumClients int
+	// ModelSize is the expected parameter-vector length.
+	ModelSize int
+	// Deadline bounds each collective barrier: a client missing the
+	// deadline (measured from the barrier's first submission) is evicted
+	// and the round completes over the survivors. Zero keeps blocking
+	// barriers — exactly the pre-fault-tolerance behaviour.
+	Deadline time.Duration
+	// HeartbeatGrace is how recently a client must have been heard from
+	// (Ping or any call) to count as alive when a deadline expires; an
+	// alive straggler buys the barrier one deadline extension. Zero
+	// defaults to Deadline. Ignored without a Deadline.
+	HeartbeatGrace time.Duration
 }
 
 // Coordinator is the TCP-facing aggregation service.
 type Coordinator struct {
 	mu         sync.Mutex
+	cfg        Config
 	numClients int
 	modelSize  int
 	nextID     int
 	allIDs     []int
 	begun      map[int]bool
 
-	srv *fl.Server
+	// hbMu guards lastSeen alone. It is never held while calling into srv,
+	// and srv's deadline expiry calls alive() while holding its own lock —
+	// a shared mutex here would invert the lock order and deadlock.
+	hbMu     sync.Mutex
+	lastSeen map[int]time.Time
+
+	counters *trace.Counters
+	srv      *fl.Server
 }
 
 // NewCoordinator constructs a coordinator expecting numClients clients
-// training a model of modelSize scalar parameters.
+// training a model of modelSize scalar parameters, with fault tolerance
+// disabled (blocking barriers).
 func NewCoordinator(numClients, modelSize int) (*Coordinator, error) {
-	if numClients <= 0 {
-		return nil, fmt.Errorf("flrpc: numClients = %d", numClients)
-	}
-	return &Coordinator{
-		numClients: numClients,
-		modelSize:  modelSize,
-		srv:        fl.NewServer(numClients),
-		begun:      map[int]bool{},
-	}, nil
+	return NewCoordinatorWith(Config{NumClients: numClients, ModelSize: modelSize})
 }
 
-// Join implements the session handshake.
+// NewCoordinatorWith constructs a coordinator from an explicit Config.
+func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("flrpc: numClients = %d", cfg.NumClients)
+	}
+	if cfg.HeartbeatGrace <= 0 {
+		cfg.HeartbeatGrace = cfg.Deadline
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		numClients: cfg.NumClients,
+		modelSize:  cfg.ModelSize,
+		begun:      map[int]bool{},
+		lastSeen:   map[int]time.Time{},
+		counters:   trace.NewCounters(),
+		srv:        fl.NewServer(cfg.NumClients),
+	}
+	// Resubmission after a client reconnect must be benign, not a
+	// double-submit error.
+	c.srv.SetIdempotent(true)
+	if cfg.Deadline > 0 {
+		c.srv.SetDeadline(cfg.Deadline)
+		c.srv.SetAliveProbe(c.alive)
+	}
+	return c, nil
+}
+
+// alive reports whether a client was heard from within the heartbeat
+// grace window; consulted by the server when a barrier deadline expires.
+func (c *Coordinator) alive(clientID int) bool {
+	c.hbMu.Lock()
+	last, ok := c.lastSeen[clientID]
+	c.hbMu.Unlock()
+	return ok && time.Since(last) <= c.cfg.HeartbeatGrace
+}
+
+// heard records a liveness signal from a client.
+func (c *Coordinator) heard(clientID int) {
+	c.hbMu.Lock()
+	c.lastSeen[clientID] = time.Now()
+	c.hbMu.Unlock()
+}
+
+// Counters exposes the coordinator's operational counters (rejoins,
+// heartbeats received).
+func (c *Coordinator) Counters() *trace.Counters { return c.counters }
+
+// Evicted returns the ids evicted so far, ascending.
+func (c *Coordinator) Evicted() []int { return c.srv.Evicted() }
+
+// EvictionCount returns the cumulative number of deadline evictions.
+func (c *Coordinator) EvictionCount() int { return c.srv.EvictionCount() }
+
+// Join implements the session handshake, including rejoin-by-id after a
+// client reconnects.
 func (c *Coordinator) Join(args JoinArgs, reply *JoinReply) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if args.Rejoin {
+		if args.ClientID < 0 || args.ClientID >= c.nextID {
+			return fmt.Errorf("flrpc: rejoin of unknown client %d", args.ClientID)
+		}
+		c.srv.Readmit(args.ClientID)
+		c.counters.Inc("rejoins")
+		c.heard(args.ClientID)
+		*reply = JoinReply{ClientID: args.ClientID, NumClients: c.numClients, ModelSize: c.modelSize}
+		return nil
+	}
 	if c.nextID >= c.numClients {
 		return fmt.Errorf("flrpc: session full (%d clients)", c.numClients)
 	}
 	id := c.nextID
 	c.nextID++
 	c.allIDs = append(c.allIDs, id)
+	c.heard(id)
 	*reply = JoinReply{ClientID: id, NumClients: c.numClients, ModelSize: c.modelSize}
+	return nil
+}
+
+// Ping implements the heartbeat: it only refreshes the client's liveness
+// timestamp, letting a deadline-expired barrier tell slow from dead.
+func (c *Coordinator) Ping(args PingArgs, reply *PingReply) error {
+	c.mu.Lock()
+	known := args.ClientID >= 0 && args.ClientID < c.nextID
+	c.mu.Unlock()
+	if !known {
+		return fmt.Errorf("flrpc: ping from unknown client %d", args.ClientID)
+	}
+	c.counters.Inc("heartbeats")
+	c.heard(args.ClientID)
 	return nil
 }
 
 // Aggregate implements the blocking collective call.
 func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
-	if args.ClientID < 0 || args.ClientID >= c.numClients {
+	c.mu.Lock()
+	if args.ClientID < 0 || args.ClientID >= c.nextID {
+		c.mu.Unlock()
 		return fmt.Errorf("flrpc: unknown client %d", args.ClientID)
 	}
-	c.mu.Lock()
 	if !c.begun[args.Round] {
 		// All connected clients participate in the real-network mode;
-		// stragglers are governed by actual wall-clock, not emulation.
-		ids := make([]int, c.numClients)
-		for i := range ids {
-			ids[i] = i
-		}
+		// stragglers are governed by actual wall-clock, not emulation. The
+		// roster and quorum are the ids that actually joined — a session
+		// started below its -clients capacity must not barrier on phantom
+		// ids that never connected.
+		ids := append([]int(nil), c.allIDs...)
+		c.srv.SetRoster(ids)
 		c.srv.BeginRound(args.Round, ids)
 		c.begun[args.Round] = true
 		delete(c.begun, args.Round-2) // bounded bookkeeping
 	}
 	c.mu.Unlock()
+	c.heard(args.ClientID)
 
 	values := args.Values
 	if args.Abstain {
 		values = nil
+	} else if values == nil {
+		// gob flattened an empty-but-contributing submission to nil in
+		// transit; Abstain is the single source of truth, so restore the
+		// contribution.
+		values = []float64{}
 	}
 	var (
 		res []float64
@@ -161,77 +308,51 @@ func Serve(l net.Listener, c *Coordinator) error {
 	}
 }
 
+// Service is a coordinator being served in the background. It embeds the
+// listener (Addr, Close) and exposes the serve loop's terminal error so a
+// server process can exit non-zero on an accept failure instead of
+// silently stranding its clients.
+type Service struct {
+	net.Listener
+	err  error
+	done chan struct{}
+}
+
+// Done is closed when the serve loop has terminated; Err is valid after.
+func (s *Service) Done() <-chan struct{} { return s.done }
+
+// Err returns the serve loop's terminal error: nil while still serving,
+// and nil after a clean shutdown (listener closed).
+func (s *Service) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
 // Listen starts a coordinator on addr and serves it in a background
-// goroutine, returning the listener (close it to stop).
-func Listen(addr string, c *Coordinator) (net.Listener, error) {
+// goroutine, returning the running service (close it to stop).
+func Listen(addr string, c *Coordinator) (*Service, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("flrpc: listen %s: %w", addr, err)
 	}
+	svc := &Service{Listener: l, done: make(chan struct{})}
 	go func() {
-		if err := Serve(l, c); err != nil && !errors.Is(err, net.ErrClosed) {
+		err := Serve(l, c)
+		if errors.Is(err, net.ErrClosed) {
+			err = nil // clean shutdown
+		}
+		if err != nil {
 			// The coordinator is a long-lived background service; an accept
 			// failure other than shutdown leaves clients hanging, so it is
-			// surfaced loudly.
-			fmt.Printf("flrpc: serve: %v\n", err)
+			// surfaced loudly and exposed via Err.
+			log.Printf("flrpc: serve: %v", err)
 		}
+		svc.err = err
+		close(svc.done)
 	}()
-	return l, nil
-}
-
-// Client is the client-side handle: a sparse.Aggregator backed by TCP.
-type Client struct {
-	rpc  *rpc.Client
-	id   int
-	size int
-	n    int
-}
-
-// Dial connects to a coordinator and joins the session.
-func Dial(addr, name string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("flrpc: dial %s: %w", addr, err)
-	}
-	rc := rpc.NewClient(conn)
-	var reply JoinReply
-	if err := rc.Call(ServiceName+".Join", JoinArgs{Name: name}, &reply); err != nil {
-		rc.Close()
-		return nil, fmt.Errorf("flrpc: join: %w", err)
-	}
-	return &Client{rpc: rc, id: reply.ClientID, size: reply.ModelSize, n: reply.NumClients}, nil
-}
-
-// ClientID returns the coordinator-assigned id.
-func (c *Client) ClientID() int { return c.id }
-
-// NumClients returns the session size.
-func (c *Client) NumClients() int { return c.n }
-
-// ModelSize returns the expected parameter-vector length.
-func (c *Client) ModelSize() int { return c.size }
-
-// Close releases the connection.
-func (c *Client) Close() error { return c.rpc.Close() }
-
-// AggregateModel implements sparse.Aggregator over the wire.
-func (c *Client) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
-	return c.call("model", clientID, round, values)
-}
-
-// AggregateError implements sparse.Aggregator over the wire.
-func (c *Client) AggregateError(clientID, round int, values []float64) ([]float64, error) {
-	return c.call("error", clientID, round, values)
-}
-
-func (c *Client) call(kind string, clientID, round int, values []float64) ([]float64, error) {
-	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
-	var reply AggReply
-	if err := c.rpc.Call(ServiceName+".Aggregate", args, &reply); err != nil {
-		return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, err)
-	}
-	if reply.Nil {
-		return nil, nil
-	}
-	return reply.Values, nil
+	return svc, nil
 }

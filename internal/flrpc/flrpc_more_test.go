@@ -28,6 +28,10 @@ func TestAggregateUnknownKind(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var join JoinReply
+	if err := c.Join(JoinArgs{Name: "x"}, &join); err != nil {
+		t.Fatal(err)
+	}
 	var reply AggReply
 	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "bogus", Values: []float64{1}}, &reply)
 	if err == nil || !strings.Contains(err.Error(), "unknown collective") {

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -43,7 +44,7 @@ type APF struct {
 	freezePeriod []int // current per-parameter freezing period length
 }
 
-var _ Syncer = (*APF)(nil)
+var _ ContextSyncer = (*APF)(nil)
 
 // NewAPF constructs an APF strategy with the given stability threshold.
 func NewAPF(clientID, size int, agg Aggregator, stability float64) *APF {
@@ -95,6 +96,11 @@ func (a *APF) EffectivePerturbation(i int) float64 {
 
 // Sync implements Syncer.
 func (a *APF) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	return a.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements ContextSyncer.
+func (a *APF) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
 	if len(local) != a.size {
 		return nil, Traffic{}, fmt.Errorf("apf: vector length %d, want %d", len(local), a.size)
 	}
@@ -113,7 +119,7 @@ func (a *APF) Sync(round int, local []float64, contributor bool) ([]float64, Tra
 			send[j] = local[i]
 		}
 	}
-	agg, err := a.agg.AggregateModel(a.id, round, send)
+	agg, err := AggModel(ctx, a.agg, a.id, round, send)
 	if err != nil {
 		return nil, Traffic{}, fmt.Errorf("apf: aggregate round %d: %w", round, err)
 	}

@@ -1,6 +1,9 @@
 package sparse
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // CMFL implements Communication-Mitigated Federated Learning (Wang et al.,
 // ICDCS 2019): a client uploads its local update only when a sufficient
@@ -22,7 +25,7 @@ type CMFL struct {
 	haveUpdate       bool
 }
 
-var _ Syncer = (*CMFL)(nil)
+var _ ContextSyncer = (*CMFL)(nil)
 
 // NewCMFL constructs a CMFL strategy with the given relevance threshold.
 func NewCMFL(clientID, size int, agg Aggregator, relevance float64) *CMFL {
@@ -56,6 +59,11 @@ func (c *CMFL) Relevance(local []float64) float64 {
 
 // Sync implements Syncer.
 func (c *CMFL) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	return c.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements ContextSyncer.
+func (c *CMFL) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
 	if len(local) != c.size {
 		return nil, Traffic{}, fmt.Errorf("cmfl: vector length %d, want %d", len(local), c.size)
 	}
@@ -67,7 +75,7 @@ func (c *CMFL) Sync(round int, local []float64, contributor bool) ([]float64, Tr
 	if !contributor || !relevant {
 		send = nil
 	}
-	global, err := c.agg.AggregateModel(c.id, round, send)
+	global, err := AggModel(ctx, c.agg, c.id, round, send)
 	if err != nil {
 		return nil, Traffic{}, fmt.Errorf("cmfl: aggregate round %d: %w", round, err)
 	}

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,7 +28,7 @@ type QSGD struct {
 	prevGlobal []float64
 }
 
-var _ Syncer = (*QSGD)(nil)
+var _ ContextSyncer = (*QSGD)(nil)
 
 // NewQSGD constructs a quantizing strategy with the given bit width
 // (2..16; 4 bits is a typical aggressive setting, 8 conservative).
@@ -87,6 +88,11 @@ func (q *QSGD) Quantize(v []float64) []float64 {
 
 // Sync implements Syncer: quantize the local update, aggregate, apply.
 func (q *QSGD) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	return q.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements ContextSyncer.
+func (q *QSGD) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
 	if len(local) != q.size {
 		return nil, Traffic{}, fmt.Errorf("qsgd: vector length %d, want %d", len(local), q.size)
 	}
@@ -96,7 +102,7 @@ func (q *QSGD) Sync(round int, local []float64, contributor bool) ([]float64, Tr
 		if contributor {
 			send = append([]float64(nil), local...)
 		}
-		agg, err := q.agg.AggregateModel(q.id, round, send)
+		agg, err := AggModel(ctx, q.agg, q.id, round, send)
 		if err != nil {
 			return nil, Traffic{}, fmt.Errorf("qsgd: bootstrap: %w", err)
 		}
@@ -118,7 +124,7 @@ func (q *QSGD) Sync(round int, local []float64, contributor bool) ([]float64, Tr
 	if contributor {
 		send = q.Quantize(update)
 	}
-	aggUpd, err := q.agg.AggregateModel(q.id, round, send)
+	aggUpd, err := AggModel(ctx, q.agg, q.id, round, send)
 	if err != nil {
 		return nil, Traffic{}, fmt.Errorf("qsgd: aggregate round %d: %w", round, err)
 	}

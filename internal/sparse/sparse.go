@@ -5,7 +5,10 @@
 // internal/core and implements the same interface.
 package sparse
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // BytesPerValue is the wire size of one parameter value. Models train in
 // float64 but synchronize as 32-bit floats, matching the paper's setup.
@@ -82,6 +85,51 @@ type Syncer interface {
 	Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error)
 }
 
+// ContextAggregator is an optional extension of Aggregator for transports
+// that can abort a blocked collective: the wait honours ctx cancellation
+// (and, over a network, drives retry/reconnect). Strategies detect it via
+// the AggModel/AggError helpers; aggregators that do not implement it are
+// called through the plain interface and block until the barrier resolves.
+type ContextAggregator interface {
+	AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error)
+	AggregateErrorCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error)
+}
+
+// AggModel submits to the model collective, routing through the
+// aggregator's context-aware path when it has one.
+func AggModel(ctx context.Context, agg Aggregator, clientID, round int, values []float64) ([]float64, error) {
+	if ca, ok := agg.(ContextAggregator); ok {
+		return ca.AggregateModelCtx(ctx, clientID, round, values)
+	}
+	return agg.AggregateModel(clientID, round, values)
+}
+
+// AggError submits to the error collective, routing through the
+// aggregator's context-aware path when it has one.
+func AggError(ctx context.Context, agg Aggregator, clientID, round int, values []float64) ([]float64, error) {
+	if ca, ok := agg.(ContextAggregator); ok {
+		return ca.AggregateErrorCtx(ctx, clientID, round, values)
+	}
+	return agg.AggregateError(clientID, round, values)
+}
+
+// ContextSyncer is an optional extension of Syncer whose synchronization
+// accepts a context, propagated into the aggregator's collectives. All
+// in-tree strategies implement it.
+type ContextSyncer interface {
+	Syncer
+	SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error)
+}
+
+// SyncContext runs a strategy's synchronization with ctx when the strategy
+// supports it, falling back to the plain (uncancellable) path otherwise.
+func SyncContext(ctx context.Context, s Syncer, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	if cs, ok := s.(ContextSyncer); ok {
+		return cs.SyncCtx(ctx, round, local, contributor)
+	}
+	return s.Sync(round, local, contributor)
+}
+
 // Factory builds one Syncer per client. Strategies receive the client id
 // and the shared aggregator.
 type Factory func(clientID int, size int, agg Aggregator) Syncer
@@ -103,7 +151,7 @@ type FedAvg struct {
 	agg  Aggregator
 }
 
-var _ Syncer = (*FedAvg)(nil)
+var _ ContextSyncer = (*FedAvg)(nil)
 
 // NewFedAvg constructs the full-synchronization strategy.
 func NewFedAvg(clientID, size int, agg Aggregator) *FedAvg {
@@ -120,6 +168,11 @@ func (f *FedAvg) Name() string { return "fedavg" }
 
 // Sync implements Syncer.
 func (f *FedAvg) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	return f.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements ContextSyncer.
+func (f *FedAvg) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
 	if len(local) != f.size {
 		return nil, Traffic{}, fmt.Errorf("fedavg: vector length %d, want %d", len(local), f.size)
 	}
@@ -127,7 +180,7 @@ func (f *FedAvg) Sync(round int, local []float64, contributor bool) ([]float64, 
 	if !contributor {
 		send = nil
 	}
-	global, err := f.agg.AggregateModel(f.id, round, send)
+	global, err := AggModel(ctx, f.agg, f.id, round, send)
 	if err != nil {
 		return nil, Traffic{}, fmt.Errorf("fedavg: aggregate round %d: %w", round, err)
 	}

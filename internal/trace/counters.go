@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named monotonic counters, used to
+// surface operational events (retries, reconnects, evictions, barrier
+// timeouts) from the fault-tolerant collectives into experiment reports.
+// All methods are safe on a nil *Counters: reads return zero and writes
+// are dropped, so instrumented code paths need no nil checks.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters constructs an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: map[string]int64{}}
+}
+
+// Inc increments the named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value (zero when never incremented).
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns the counter names in ascending order.
+func (c *Counters) Names() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() map[string]int64 {
+	if c == nil {
+		return map[string]int64{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters as "name=value" pairs in name order, e.g.
+// "evictions=1 retries=3" — empty for an empty (or nil) set.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := c.Names()
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, snap[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Render writes the counters as an aligned table with the given title.
+func (c *Counters) Render(w io.Writer, title string) error {
+	t := NewTable(title, "counter", "value")
+	snap := c.Snapshot()
+	for _, n := range c.Names() {
+		t.AddRow(n, snap[n])
+	}
+	return t.Render(w)
+}
+
+// WriteCSV emits the counters as two-column CSV in name order.
+func (c *Counters) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "counter,value"); err != nil {
+		return err
+	}
+	snap := c.Snapshot()
+	for _, n := range c.Names() {
+		if _, err := fmt.Fprintf(w, "%s,%d\n", n, snap[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("Get(missing) = %d, want 0", got)
+	}
+	c.Inc("retries")
+	c.Inc("retries")
+	c.Add("evictions", 3)
+	if got := c.Get("retries"); got != 2 {
+		t.Errorf("retries = %d, want 2", got)
+	}
+	if got := c.Get("evictions"); got != 3 {
+		t.Errorf("evictions = %d, want 3", got)
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "evictions" || names[1] != "retries" {
+		t.Errorf("Names() = %v, want [evictions retries]", names)
+	}
+	if got, want := c.String(), "evictions=3 retries=2"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	snap := c.Snapshot()
+	c.Inc("retries")
+	if snap["retries"] != 2 {
+		t.Error("Snapshot must be a copy, not a view")
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Inc("x") // must not panic
+	c.Add("x", 5)
+	if got := c.Get("x"); got != 0 {
+		t.Errorf("nil Get = %d, want 0", got)
+	}
+	if names := c.Names(); len(names) != 0 {
+		t.Errorf("nil Names = %v, want empty", names)
+	}
+	if s := c.String(); s != "" {
+		t.Errorf("nil String = %q, want empty", s)
+	}
+	if snap := c.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil Snapshot = %v, want empty", snap)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("hits")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("hits"); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+}
+
+func TestCountersCSVAndRender(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	var csv strings.Builder
+	if err := c.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csv.String(), "counter,value\na,1\nb,2\n"; got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+	var tbl strings.Builder
+	if err := c.Render(&tbl, "ops"); err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"ops", "a", "b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
