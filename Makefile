@@ -1,23 +1,38 @@
 # Tier-1 verification and developer loops. `make verify` is the full
-# pre-merge gate: build + tests, static vetting, and the race detector over
-# the packages with real concurrency (the worker-pool kernels, the
-# federated engine's per-client goroutines, and the TCP coordinator).
+# pre-merge gate: build + tests (shuffled, so order-dependent tests cannot
+# hide), static vetting, fedsu-lint, the race detector over every package,
+# and a short fuzz smoke over the wire codecs.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: tier1 vet race verify bench
+.PHONY: tier1 vet lint race fuzz verify bench
 
 tier1:
 	$(GO) build ./...
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
-race:
-	$(GO) test -race ./internal/tensor/... ./internal/fl/... ./internal/flrpc/...
+# Project-specific static analysis: scratchpair, ctxdispatch, determinism,
+# errwrap (see DESIGN.md §5e). Suppress a finding with
+# `//lint:allow <analyzer> <reason>` on or above the offending line.
+lint:
+	$(GO) run ./cmd/fedsu-lint ./...
 
-verify: tier1 vet race
+race:
+	$(GO) test -race ./...
+
+# Short fuzz smoke over the gob wire contract (nil-vs-abstain regression)
+# and the sparse mask codecs. `go test -fuzz` accepts one target per
+# invocation, hence three runs. Seeds live in testdata/fuzz/ and f.Add.
+fuzz:
+	$(GO) test -fuzz '^FuzzAggWire$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flrpc/
+	$(GO) test -fuzz '^FuzzBitmapPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
+	$(GO) test -fuzz '^FuzzIndexPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
+
+verify: tier1 vet lint race fuzz
 
 # Kernel and layer microbenchmarks (see BENCH_kernels.json for the tracked
 # before/after numbers).

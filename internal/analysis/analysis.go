@@ -1,0 +1,142 @@
+// Package analysis is a self-contained, dependency-free reimplementation of
+// the subset of golang.org/x/tools/go/analysis that fedsu-lint needs. The
+// build environment deliberately carries no third-party modules, so the
+// framework is vendored in spirit: Analyzer, Pass, and Diagnostic mirror the
+// upstream API shape closely enough that migrating to the real package is a
+// mechanical import swap once the dependency is available.
+//
+// Two drivers consume this package: internal/analysis/driver loads real
+// packages of this module through `go list -export` plus export-data
+// importing, and internal/analysis/analysistest loads self-contained
+// testdata corpora and checks reported diagnostics against `// want`
+// comments.
+//
+// # Suppressing a finding
+//
+// Any diagnostic can be silenced at a specific site with a line directive
+//
+//	//lint:allow <analyzer> [reason...]
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. Suppressions are deliberate, reviewable statements:
+// include the reason.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors the upstream
+// x/tools/go/analysis.Analyzer (minus facts and analyzer dependencies,
+// which no fedsu-lint check needs).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name>` suppression directives.
+	Name string
+	// Doc is the analyzer's contract, shown by `fedsu-lint -help`.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a diagnostic. Drivers install a hook that drops
+	// diagnostics suppressed by a //lint:allow directive.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// AllowDirective is the comment prefix that suppresses a finding.
+const AllowDirective = "//lint:allow "
+
+// allowedLines returns the set of line numbers in f (keyed by line) on
+// which findings of the named analyzer are suppressed. A directive covers
+// its own line and, when it is the only thing on its line, the line below.
+func allowedLines(fset *token.FileSet, f *ast.File, analyzer string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, AllowDirective)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) == 0 || fields[0] != analyzer {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			lines[pos.Line] = true
+			lines[pos.Line+1] = true
+		}
+	}
+	return lines
+}
+
+// RunAnalyzer executes a on one type-checked package and returns the
+// diagnostics that survive //lint:allow filtering, sorted by position.
+// Both drivers route through here so suppression and ordering behave
+// identically under `make lint` and under analysistest.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+
+	// Filter suppressed findings file by file.
+	allowed := map[*ast.File]map[int]bool{}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		f := fileOf(d.Pos)
+		if f != nil {
+			lines, ok := allowed[f]
+			if !ok {
+				lines = allowedLines(fset, f, a.Name)
+				allowed[f] = lines
+			}
+			if lines[fset.Position(d.Pos).Line] {
+				continue
+			}
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}

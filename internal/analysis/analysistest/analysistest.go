@@ -1,0 +1,255 @@
+// Package analysistest runs an analyzer over a self-contained corpus of
+// test packages and checks its diagnostics against `// want` comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// A corpus lives under an analyzer's testdata directory with a GOPATH-like
+// shape: testdata/src/<import/path>/*.go. Imports between corpus packages
+// resolve within the corpus (so a check scoped to, say,
+// "fedsu/internal/fl" can be exercised against a miniature replica of that
+// package), and imports of the standard library resolve through the real
+// toolchain's export data.
+//
+// Expectations are written at the end of the offending line:
+//
+//	res, err := c.srv.AggregateModel(id, round, v) // want `direct call`
+//
+// Each pattern is a regular expression that must match exactly one
+// diagnostic reported on that line; diagnostics with no matching pattern,
+// and patterns with no matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fedsu/internal/analysis"
+	"fedsu/internal/analysis/driver"
+)
+
+// Run loads each corpus package beneath dir/src, applies a, and reports
+// every mismatch between diagnostics and want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		srcRoot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		cache:   map[string]*pkg{},
+	}
+	if err := l.resolveExternal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, l.fset, p.files, p.types, p.info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, l.fset, p.files, diags)
+	}
+}
+
+type pkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*pkg
+	std     types.Importer
+	loading map[string]bool
+}
+
+// resolveExternal scans the whole corpus for imports that do not resolve
+// inside it and builds one export-data importer covering them all.
+func (l *loader) resolveExternal() error {
+	external := map[string]bool{}
+	err := filepath.Walk(l.srcRoot, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || fi.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			q, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, statErr := os.Stat(filepath.Join(l.srcRoot, q)); statErr != nil {
+				external[q] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(external) == 0 {
+		return nil
+	}
+	args := []string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}
+	for q := range external {
+		args = append(args, q)
+	}
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("analysistest: go list: %w\n%s", err, stderr.Bytes())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	l.std = driver.ExportImporter(l.fset, exports)
+	return nil
+}
+
+// Import implements types.Importer: corpus packages first, then the
+// standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.srcRoot, path)); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	if l.std == nil {
+		return nil, fmt.Errorf("analysistest: no importer for %q", path)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*pkg, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	if l.loading == nil {
+		l.loading = map[string]bool{}
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysistest: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcRoot, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := driver.NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: type-checking %s: %w", path, err)
+	}
+	p := &pkg{files: files, types: tpkg, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+// wantRe extracts the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares diagnostics against the corpus's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(rest, -1) {
+					var pat string
+					if strings.HasPrefix(q, "`") {
+						pat = strings.Trim(q, "`")
+					} else if u, err := strconv.Unquote(q); err == nil {
+						pat = u
+					} else {
+						t.Errorf("%s: bad want pattern %s", pos, q)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}

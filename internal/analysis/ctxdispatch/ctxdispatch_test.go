@@ -1,0 +1,13 @@
+package ctxdispatch_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/ctxdispatch"
+)
+
+func TestCtxDispatch(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdispatch.Analyzer,
+		"fedsu/internal/fl", "fedsu/internal/exp")
+}

@@ -1,0 +1,12 @@
+// Package exp is outside the analyzer's scope: the experiment harness
+// drives strategies synchronously on purpose, so direct calls here are
+// legal and must produce no diagnostics.
+package exp
+
+import "fedsu/internal/sparse"
+
+// drive calls the collectives directly — allowed outside fl/flrpc.
+func drive(agg sparse.Aggregator, s sparse.Syncer) {
+	agg.AggregateModel(0, 1, nil)
+	s.Sync(1, nil, true)
+}

@@ -1,0 +1,13 @@
+// Package fl is outside the determinism scope: the engine measures
+// wall-clock on purpose (round timing, barrier deadlines), so nothing here
+// may be flagged.
+package fl
+
+import "time"
+
+// roundDuration times a round — legal outside the kernel packages.
+func roundDuration(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,93 @@
+// Package tensor is the in-scope half of the determinism corpus: this
+// package path is under the serial-vs-parallel bit-identity contract.
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// environmental reads ambient state a deterministic kernel must not see.
+func environmental() float64 {
+	t := time.Now()            // want `call to time.Now in deterministic kernel package`
+	d := time.Since(t)         // want `call to time.Since in deterministic kernel package`
+	p := runtime.GOMAXPROCS(0) // want `call to runtime.GOMAXPROCS in deterministic kernel package`
+	c := runtime.NumCPU()      // want `call to runtime.NumCPU in deterministic kernel package`
+	return float64(p+c) + d.Seconds()
+}
+
+// globalRand draws from the process-wide source.
+func globalRand() float64 {
+	return rand.Float64() // want `global math/rand source \(rand.Float64\)`
+}
+
+// seededRand draws from an injected, seeded generator — deterministic and
+// allowed, as are the constructors themselves.
+func seededRand(rng *rand.Rand) float64 {
+	fresh := rand.New(rand.NewSource(42))
+	return rng.Float64() + fresh.Float64()
+}
+
+// mapOrderSum folds floats in map iteration order: run-to-run bit drift.
+func mapOrderSum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `numeric accumulation into "sum" inside map iteration is order-dependent`
+	}
+	return sum
+}
+
+// mapOrderFold is the non-compound spelling of the same bug.
+func mapOrderFold(m map[int]float64) float64 {
+	prod := 1.0
+	for _, v := range m {
+		prod = prod * v // want `numeric accumulation into "prod" inside map iteration is order-dependent`
+	}
+	return prod
+}
+
+// sortedSum is the deterministic idiom: collect, sort, fold. The append
+// inside the map range is order-recoverable and not flagged.
+func sortedSum(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// intCount accumulates integers in map order — exact arithmetic commutes,
+// so this is deterministic and not flagged.
+func intCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// perIterationTemp accumulates into a variable scoped to the loop body;
+// nothing order-dependent escapes an iteration.
+func perIterationTemp(m map[int][]float64, out []float64) {
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		_ = s
+	}
+	_ = out
+}
+
+// suppressed documents a sanctioned exception.
+func suppressed() int64 {
+	//lint:allow determinism diagnostics timestamp, not part of any result
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "wrap")
+}

@@ -1,0 +1,45 @@
+// Package tensor is a miniature replica of the real arena API, just large
+// enough for the scratchpair corpus to type-check. The package path
+// matters: the analyzer matches GetScratch/PutScratch by their defining
+// package.
+package tensor
+
+// Tensor is a stand-in for the real dense tensor.
+type Tensor struct {
+	data []float64
+}
+
+// GetScratch draws a pooled tensor from the arena.
+func GetScratch(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{data: make([]float64, n)}
+}
+
+// PutScratch returns a tensor to the arena.
+func PutScratch(t *Tensor) {}
+
+// Data exposes the backing slice.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// inPackageLeak exercises the bare (unqualified) call form: the analyzer
+// must see arena calls inside the arena's own package too.
+func inPackageLeak(cond bool) {
+	t := GetScratch(4) // want `scratch tensor "t" is not released by PutScratch`
+	if cond {
+		return
+	}
+	PutScratch(t)
+}
+
+// inPackageOK pairs a bare acquisition on every path.
+func inPackageOK(cond bool) {
+	t := GetScratch(4)
+	if cond {
+		PutScratch(t)
+		return
+	}
+	PutScratch(t)
+}

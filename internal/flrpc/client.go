@@ -283,24 +283,22 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 		var reply AggReply
 		err = c.do(ctx, rc, ServiceName+".Aggregate", args, &reply)
 		if err == nil {
-			if reply.Nil {
-				return nil, nil
-			}
-			if reply.Values == nil {
-				// gob flattened a non-nil empty result to nil in transit;
-				// reply.Nil is the source of truth for "no contributors".
-				return []float64{}, nil
-			}
-			return reply.Values, nil
+			// contribution() resolves the gob nil-vs-empty wire ambiguity;
+			// reply.Nil is the source of truth for "no contributors".
+			return reply.contribution(), nil
 		}
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, ctx.Err())
 		}
 		if se, ok := err.(rpc.ServerError); ok {
+			// The designated recovery shim: net/rpc flattens server-side
+			// errors to strings, so the typed eviction error can only be
+			// recovered here, by matching fl.EvictedError's wire marker.
+			//lint:allow errwrap net/rpc delivers errors as flattened strings
 			if strings.Contains(se.Error(), evictedMarker) {
-				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %s: %w", kind, round, se, ErrEvicted)
+				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w: %w", kind, round, se, ErrEvicted)
 			}
-			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %s", kind, round, se)
+			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, se)
 		}
 		// Transport failure: drop the connection and retry; the rejoin on
 		// reconnect plus the coordinator's idempotent resubmission makes

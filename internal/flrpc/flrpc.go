@@ -23,6 +23,7 @@
 package flrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"fedsu/internal/fl"
+	"fedsu/internal/sparse"
 	"fedsu/internal/trace"
 )
 
@@ -91,6 +93,22 @@ type AggArgs struct {
 	Abstain bool
 }
 
+// contribution returns the submitted vector with the gob wire ambiguity
+// resolved: Abstain — not Values == nil — is the wire truth for
+// abstention, and a contributing submission whose slice gob flattened to
+// nil in transit is restored to the empty contribution it was sent as.
+// Both the coordinator and the wire fuzz target route through this single
+// normalization point.
+func (a AggArgs) contribution() []float64 {
+	if a.Abstain {
+		return nil
+	}
+	if a.Values == nil {
+		return []float64{}
+	}
+	return a.Values
+}
+
 // AggReply returns the collective result.
 type AggReply struct {
 	// Values is the element-wise mean over contributors; Nil reports that
@@ -98,6 +116,20 @@ type AggReply struct {
 	// the nil-vs-empty distinction in Values).
 	Values []float64
 	Nil    bool
+}
+
+// contribution returns the collective result with the same gob wire
+// ambiguity resolved in the reply direction: Nil is the truth for "no
+// contributors", and a non-nil-but-empty result flattened in transit is
+// restored.
+func (r AggReply) contribution() []float64 {
+	if r.Nil {
+		return nil
+	}
+	if r.Values == nil {
+		return []float64{}
+	}
+	return r.Values
 }
 
 // Config assembles a fault-tolerant coordinator.
@@ -260,24 +292,20 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 	c.mu.Unlock()
 	c.heard(args.ClientID)
 
-	values := args.Values
-	if args.Abstain {
-		values = nil
-	} else if values == nil {
-		// gob flattened an empty-but-contributing submission to nil in
-		// transit; Abstain is the single source of truth, so restore the
-		// contribution.
-		values = []float64{}
-	}
+	values := args.contribution()
 	var (
 		res []float64
 		err error
 	)
+	// Route through the ctx-aware dispatchers (the ctxdispatch contract):
+	// net/rpc hands the handler no context, but the dispatch helpers keep
+	// this call on the same cancellation-capable path as every other
+	// aggregation in the codebase.
 	switch args.Kind {
 	case "model":
-		res, err = c.srv.AggregateModel(args.ClientID, args.Round, values)
+		res, err = sparse.AggModel(context.Background(), c.srv, args.ClientID, args.Round, values)
 	case "error":
-		res, err = c.srv.AggregateError(args.ClientID, args.Round, values)
+		res, err = sparse.AggError(context.Background(), c.srv, args.ClientID, args.Round, values)
 	default:
 		return fmt.Errorf("flrpc: unknown collective kind %q", args.Kind)
 	}

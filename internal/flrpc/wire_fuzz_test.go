@@ -1,0 +1,95 @@
+package flrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"math"
+	"testing"
+)
+
+// FuzzAggWire is the regression fuzz for the nil-vs-abstain wire bug fixed
+// in the fault-tolerance PR: gob flattens a non-nil empty []float64 to nil
+// in transit, so Abstain (requests) and Nil (replies) are the wire truth
+// and contribution() must reconstruct the semantic payload exactly, in
+// both directions, for every value pattern including NaNs and
+// signed zeros.
+func FuzzAggWire(f *testing.F) {
+	f.Add(0, 3, "model", []byte{}, true)  // abstention
+	f.Add(1, 0, "error", []byte{}, false) // empty-but-contributing: the original bug
+	f.Add(2, 7, "model", floatBytes(1.5, -0.25, 0), false)
+	f.Add(3, 9, "error", floatBytes(math.NaN(), math.Inf(-1), math.Copysign(0, -1)), false)
+	f.Fuzz(func(t *testing.T, clientID, round int, kind string, raw []byte, abstain bool) {
+		var values []float64
+		if !abstain {
+			values = bytesToFloats(raw)
+		}
+		args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
+		var gotArgs AggArgs
+		gobRoundTrip(t, &args, &gotArgs)
+		checkContribution(t, "request", values, gotArgs.contribution())
+
+		reply := AggReply{Values: values, Nil: values == nil}
+		var gotReply AggReply
+		gobRoundTrip(t, &reply, &gotReply)
+		checkContribution(t, "reply", values, gotReply.contribution())
+	})
+}
+
+// checkContribution asserts the normalized wire payload is semantically
+// identical to what was sent: nil stays nil, empty stays empty (non-nil),
+// and every float64 survives bit-for-bit.
+func checkContribution(t *testing.T, dir string, sent, got []float64) {
+	t.Helper()
+	if sent == nil {
+		if got != nil {
+			t.Fatalf("%s: sent nil (abstain/no-contributors), received %v", dir, got)
+		}
+		return
+	}
+	if got == nil {
+		t.Fatalf("%s: empty contribution collapsed to nil across the wire", dir)
+	}
+	if len(got) != len(sent) {
+		t.Fatalf("%s: sent %d values, received %d", dir, len(sent), len(got))
+	}
+	for i := range sent {
+		if math.Float64bits(got[i]) != math.Float64bits(sent[i]) {
+			t.Fatalf("%s: value %d: sent %x, received %x", dir, i, math.Float64bits(sent[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+// gobRoundTrip encodes src and decodes into dst, the transform net/rpc's
+// gob codec applies to every collective call.
+func gobRoundTrip(t *testing.T, src, dst any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(src); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(dst); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+}
+
+// bytesToFloats reinterprets raw fuzz bytes as float64s (always non-nil:
+// the fuzzer's empty input is the empty contribution, the regression
+// case).
+func bytesToFloats(raw []byte) []float64 {
+	values := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 {
+		values = append(values, math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+		raw = raw[8:]
+	}
+	return values
+}
+
+// floatBytes builds a seed payload from explicit float64s.
+func floatBytes(vs ...float64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}

@@ -52,8 +52,15 @@ func DecodeBitmapPayload(b []byte) (mask []bool, values []float64, err error) {
 	if len(b) < 8 {
 		return nil, nil, fmt.Errorf("sparse: bitmap payload too short (%d bytes)", len(b))
 	}
-	n := int(binary.LittleEndian.Uint64(b[:8]))
+	n64 := binary.LittleEndian.Uint64(b[:8])
 	b = b[8:]
+	// Bound the claimed parameter count by the bytes actually present
+	// before allocating: the header is attacker-controlled on a real wire,
+	// and a bare make([]bool, n) lets 8 bytes demand 2^63 of memory.
+	if n64 > uint64(len(b))*8 {
+		return nil, nil, fmt.Errorf("sparse: bitmap truncated")
+	}
+	n := int(n64)
 	nb := (n + 7) / 8
 	if len(b) < nb {
 		return nil, nil, fmt.Errorf("sparse: bitmap truncated")
@@ -110,8 +117,15 @@ func DecodeIndexPayload(b []byte) (indices []int, values []float64, err error) {
 	if len(b) < 8 {
 		return nil, nil, fmt.Errorf("sparse: index payload too short (%d bytes)", len(b))
 	}
-	n := int(binary.LittleEndian.Uint64(b[:8]))
+	n64 := binary.LittleEndian.Uint64(b[:8])
 	b = b[8:]
+	// Each entry needs at least one varint byte plus four value bytes, so
+	// the claimed count is bounded by the payload before allocation (same
+	// wire-robustness reasoning as DecodeBitmapPayload).
+	if n64 > uint64(len(b))/5 {
+		return nil, nil, fmt.Errorf("sparse: index payload truncated")
+	}
+	n := int(n64)
 	indices = make([]int, n)
 	prev := 0
 	for i := 0; i < n; i++ {
@@ -120,6 +134,9 @@ func DecodeIndexPayload(b []byte) (indices []int, values []float64, err error) {
 			return nil, nil, fmt.Errorf("sparse: bad varint at index %d", i)
 		}
 		b = b[k:]
+		if d > uint64(math.MaxInt-prev) {
+			return nil, nil, fmt.Errorf("sparse: index overflow at index %d", i)
+		}
 		prev += int(d)
 		indices[i] = prev
 	}

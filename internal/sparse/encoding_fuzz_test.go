@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBitmapPayload round-trips arbitrary masks and values through the
+// bitmap wire encoding, and feeds the raw fuzz input straight into the
+// decoder, which must reject malformed payloads with an error — never a
+// panic or an unbounded allocation (the length header is
+// attacker-controlled on a real wire).
+func FuzzBitmapPayload(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0xff, 0x01}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{})        // header-only adversarial input
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 0xff}, []byte{9}) // valid-looking 8-bit payload
+	f.Fuzz(func(t *testing.T, maskBytes, valueBytes []byte) {
+		// Direction 1: decoder robustness on raw input.
+		if mask, values, err := DecodeBitmapPayload(maskBytes); err == nil {
+			if popcount(mask) != len(values) {
+				t.Fatalf("decoded %d set bits but %d values", popcount(mask), len(values))
+			}
+		}
+
+		// Direction 2: encode/decode round trip on a synthesized payload.
+		mask := make([]bool, len(maskBytes)*8)
+		for i := range mask {
+			mask[i] = maskBytes[i/8]&(1<<(i%8)) != 0
+		}
+		values := synthValues(popcount(mask), valueBytes)
+		encoded := EncodeBitmapPayload(mask, values)
+		gotMask, gotValues, err := DecodeBitmapPayload(encoded)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if len(gotMask) != len(mask) {
+			t.Fatalf("mask length %d, want %d", len(gotMask), len(mask))
+		}
+		for i := range mask {
+			if gotMask[i] != mask[i] {
+				t.Fatalf("mask bit %d flipped", i)
+			}
+		}
+		checkFloat32RoundTrip(t, values, gotValues)
+	})
+}
+
+// FuzzIndexPayload does the same for the delta-varint index encoding.
+func FuzzIndexPayload(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 1, 200}, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff}, []byte{}) // adversarial header
+	f.Fuzz(func(t *testing.T, deltaBytes, valueBytes []byte) {
+		// Direction 1: decoder robustness on raw input.
+		if indices, values, err := DecodeIndexPayload(deltaBytes); err == nil {
+			if len(indices) != len(values) {
+				t.Fatalf("decoded %d indices but %d values", len(indices), len(values))
+			}
+			for i := 1; i < len(indices); i++ {
+				if indices[i] < indices[i-1] {
+					t.Fatalf("decoded indices not sorted: %d after %d", indices[i], indices[i-1])
+				}
+			}
+		}
+
+		// Direction 2: round trip over strictly increasing synthetic indices.
+		indices := make([]int, len(deltaBytes))
+		prev := -1
+		for i, d := range deltaBytes {
+			prev += 1 + int(d)
+			indices[i] = prev
+		}
+		values := synthValues(len(indices), valueBytes)
+		encoded := EncodeIndexPayload(indices, values)
+		gotIndices, gotValues, err := DecodeIndexPayload(encoded)
+		if err != nil {
+			t.Fatalf("decoding our own encoding: %v", err)
+		}
+		if len(gotIndices) != len(indices) {
+			t.Fatalf("index count %d, want %d", len(gotIndices), len(indices))
+		}
+		for i := range indices {
+			if gotIndices[i] != indices[i] {
+				t.Fatalf("index %d: got %d, want %d", i, gotIndices[i], indices[i])
+			}
+		}
+		checkFloat32RoundTrip(t, values, gotValues)
+	})
+}
+
+// synthValues derives n float64s from raw bytes (cycling when short), so
+// value patterns — NaN payloads included — come from the fuzzer.
+func synthValues(n int, raw []byte) []float64 {
+	values := make([]float64, n)
+	for i := range values {
+		var bits uint64
+		for j := 0; j < 8; j++ {
+			var b byte
+			if len(raw) > 0 {
+				b = raw[(8*i+j)%len(raw)]
+			}
+			bits = bits<<8 | uint64(b)
+		}
+		values[i] = math.Float64frombits(bits)
+	}
+	return values
+}
+
+// checkFloat32RoundTrip asserts the wire's documented float32 quantization
+// and nothing else: decoded[i] must be bit-identical to
+// float64(float32(sent[i])).
+func checkFloat32RoundTrip(t *testing.T, sent, got []float64) {
+	t.Helper()
+	if len(got) != len(sent) {
+		t.Fatalf("value count %d, want %d", len(got), len(sent))
+	}
+	for i, v := range sent {
+		want := float64(float32(v))
+		if math.Float64bits(got[i]) != math.Float64bits(want) && !(math.IsNaN(got[i]) && math.IsNaN(want)) {
+			t.Fatalf("value %d: got %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+}
+
+func popcount(mask []bool) int {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}

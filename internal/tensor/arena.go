@@ -90,4 +90,3 @@ func PutScratch(t *Tensor) {
 	t.data = t.data[:c]
 	arena[cls].Put(t)
 }
-
