@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet lint race fuzz verify bench
+.PHONY: tier1 vet lint race fuzz verify bench bench-agg
 
 tier1:
 	$(GO) build ./...
@@ -24,13 +24,15 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke over the gob wire contract (nil-vs-abstain regression)
-# and the sparse mask codecs. `go test -fuzz` accepts one target per
-# invocation, hence three runs. Seeds live in testdata/fuzz/ and f.Add.
+# Short fuzz smoke over the rpc wire contract (nil-vs-abstain regression),
+# the sparse mask codecs, and the self-describing vector payload flrpc
+# ships. `go test -fuzz` accepts one target per invocation, hence four
+# runs. Seeds live in testdata/fuzz/ and f.Add.
 fuzz:
 	$(GO) test -fuzz '^FuzzAggWire$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flrpc/
 	$(GO) test -fuzz '^FuzzBitmapPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 	$(GO) test -fuzz '^FuzzIndexPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
+	$(GO) test -fuzz '^FuzzVectorPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 
 verify: tier1 vet lint race fuzz
 
@@ -38,3 +40,10 @@ verify: tier1 vet lint race fuzz
 # before/after numbers).
 bench:
 	$(GO) test ./internal/tensor/ ./internal/nn/ -run xxx -bench . -benchmem
+
+# Aggregation hot-loop benchmarks (see BENCH_agg.json for the tracked
+# before/after numbers): the fl.Server streaming collective fold and the
+# pooled sparse vector wire codec. Take the median of the 3 counts.
+bench-agg:
+	$(GO) test ./internal/fl/ -run xxx -bench '^BenchmarkAggregate' -benchmem -count 3
+	$(GO) test ./internal/sparse/ -run xxx -bench '^BenchmarkVectorPayload$$' -benchmem

@@ -35,11 +35,17 @@ func ExampleNewManager() {
 	// oscillating parameter predictable: false
 }
 
-// ExampleTraffic shows the byte-level savings accounting.
+// ExampleTraffic shows the byte-level savings accounting: a round that
+// shipped a dense 100-value message each way is measured against the full
+// 400-parameter model's wire cost.
 func ExampleTraffic() {
+	quarter := make([]float64, 100)
+	for i := range quarter {
+		quarter[i] = 1
+	}
 	tr := fedsu.Traffic{
-		UpBytes:      100*4 + 64,
-		DownBytes:    100*4 + 64,
+		UpBytes:      fedsu.MessageBytes(quarter),
+		DownBytes:    fedsu.MessageBytes(quarter),
 		SyncedParams: 100,
 		TotalParams:  400,
 	}

@@ -83,6 +83,17 @@ type Syncer = sparse.Syncer
 // Traffic accounts one client's communication during one synchronization.
 type Traffic = sparse.Traffic
 
+// MessageBytes is the actual wire cost of one collective message carrying
+// vec under the binary vector codec (framing plus exact encoded payload);
+// nil — an abstention — costs the framing header alone. Strategies charge
+// their Traffic with this.
+func MessageBytes(vec []float64) int { return sparse.MessageBytes(vec) }
+
+// DenseMessageBytes is MessageBytes for a fully-dense n-parameter vector,
+// the full-model reference cost SparsificationRatio measures savings
+// against.
+func DenseMessageBytes(n int) int { return sparse.DenseMessageBytes(n) }
+
 // NewFedAvg, NewCMFL, and NewAPF expose the baseline strategies for
 // side-by-side deployments.
 func NewFedAvg(clientID, size int, agg Aggregator) Syncer {

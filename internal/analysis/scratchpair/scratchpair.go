@@ -1,12 +1,16 @@
-// Package scratchpair checks that every tensor.GetScratch acquisition is
-// balanced by a tensor.PutScratch release on every path out of the
-// acquiring function.
+// Package scratchpair checks that every pooled-resource acquisition is
+// balanced by its release on every path out of the acquiring function. It
+// enforces the project's Get/Put families:
 //
-// The scratch arena (internal/tensor/arena.go) recycles tensor backing
-// stores through a sync.Pool; a Get without a Put does not crash anything —
-// it silently demotes the arena to plain allocation, which is exactly why
-// the kernel allocation budgets in BENCH_kernels.json regress without any
-// test failing. This analyzer makes the pairing a compile-time contract.
+//	tensor.GetScratch / tensor.PutScratch   (scratch tensors, arena.go)
+//	sparse.GetWireBuf / sparse.PutWireBuf   (pooled wire buffers, pool.go)
+//	sparse.GetVec     / sparse.PutVec       (pooled vectors, pool.go)
+//
+// The pools recycle backing stores through sync.Pool; a Get without a Put
+// does not crash anything — it silently demotes the pool to plain
+// allocation, which is exactly why the allocation budgets in
+// BENCH_kernels.json and BENCH_agg.json regress without any test failing.
+// This analyzer makes the pairing a compile-time contract.
 //
 // The check is flow-sensitive over the function body: acquisitions are
 // tracked per variable through if/else, switch, select, and loop bodies,
@@ -14,12 +18,13 @@
 // return and at the end of the function. Ownership transfers that end
 // tracking:
 //
-//   - returning the scratch tensor to the caller
+//   - returning the resource to the caller
 //   - storing it into a struct field, map, slice element, or composite
-//     literal (e.g. the Conv2D im2col cache retained for Backward)
+//     literal (e.g. the Conv2D im2col cache retained for Backward, or the
+//     fl.Server stray-contribution map drained at barrier completion)
 //
-// Passing a scratch tensor to an ordinary function is a use, not a
-// transfer: the callee is expected to borrow, not keep.
+// Passing a resource to an ordinary function is a use, not a transfer: the
+// callee is expected to borrow, not keep.
 package scratchpair
 
 import (
@@ -33,15 +38,28 @@ import (
 // Analyzer is the scratchpair check.
 var Analyzer = &analysis.Analyzer{
 	Name: "scratchpair",
-	Doc: "check that tensor.GetScratch and tensor.PutScratch are paired on all paths\n\n" +
-		"Every scratch tensor drawn from the arena must be released, deferred, " +
+	Doc: "check that pooled Get/Put calls (GetScratch, GetWireBuf, GetVec) are paired on all paths\n\n" +
+		"Every resource drawn from a project pool must be released, deferred, " +
 		"returned, or stored before the acquiring function exits, on every " +
 		"control-flow path including early and error returns.",
 	Run: run,
 }
 
-// arenaPkg is the package whose Get/Put pair is enforced.
-const arenaPkg = "fedsu/internal/tensor"
+// pairSpec is one enforced Get/Put family: the defining package, the two
+// function names, and the noun diagnostics use for the resource.
+type pairSpec struct {
+	pkg  string
+	get  string
+	put  string
+	noun string
+}
+
+// pairs is the table of enforced pools. putNames is its release-side index.
+var pairs = []pairSpec{
+	{pkg: "fedsu/internal/tensor", get: "GetScratch", put: "PutScratch", noun: "scratch tensor"},
+	{pkg: "fedsu/internal/sparse", get: "GetWireBuf", put: "PutWireBuf", noun: "pooled wire buffer"},
+	{pkg: "fedsu/internal/sparse", get: "GetVec", put: "PutVec", noun: "pooled vector"},
+}
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
@@ -67,14 +85,20 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// state is the set of live scratch acquisitions along one path.
+// acquisition records where a resource was drawn and from which pool.
+type acquisition struct {
+	pos  token.Pos
+	pair *pairSpec
+}
+
+// state is the set of live acquisitions along one path.
 type state struct {
-	held     map[types.Object]token.Pos // variable -> acquisition position
-	deferred map[types.Object]bool      // release scheduled by defer
+	held     map[types.Object]acquisition // variable -> acquisition
+	deferred map[types.Object]bool        // release scheduled by defer
 }
 
 func newState() *state {
-	return &state{held: map[types.Object]token.Pos{}, deferred: map[types.Object]bool{}}
+	return &state{held: map[types.Object]acquisition{}, deferred: map[types.Object]bool{}}
 }
 
 func (s *state) clone() *state {
@@ -88,17 +112,36 @@ func (s *state) clone() *state {
 	return c
 }
 
-// merge folds the exit state of a conditional branch into s: a tensor still
-// held on any incoming path stays held; a defer only counts if scheduled on
-// every incoming path.
+// merge folds the exit state of a conditional branch into s. A resource
+// leaks if any incoming path holds it without a scheduled release, so the
+// merged resource is held when either path holds it, and stays covered by a
+// defer only when every path that actually holds it also scheduled the
+// release — a path that never acquired the resource needs none (the
+// acquire-and-defer-inside-one-branch pattern).
 func (s *state) merge(o *state) {
+	leaks := map[types.Object]bool{}
+	for k := range s.held {
+		if !s.deferred[k] {
+			leaks[k] = true
+		}
+	}
 	for k, v := range o.held {
 		if _, ok := s.held[k]; !ok {
 			s.held[k] = v
 		}
 	}
+	for k := range s.held {
+		_, inO := o.held[k]
+		if leaks[k] || (inO && !o.deferred[k]) {
+			delete(s.deferred, k)
+		} else if s.deferred[k] || o.deferred[k] {
+			s.deferred[k] = true
+		}
+	}
+	// Defers covering a resource not currently held (scheduled ahead of a
+	// re-acquisition) only survive when scheduled on every path.
 	for k := range s.deferred {
-		if !o.deferred[k] {
+		if _, held := s.held[k]; !held && !o.deferred[k] {
 			delete(s.deferred, k)
 		}
 	}
@@ -111,13 +154,13 @@ type checker struct {
 
 // reportHeld flags every live, non-deferred acquisition at an exit point.
 func (c *checker) reportHeld(s *state, exit token.Pos) {
-	for obj, pos := range s.held {
+	for obj, acq := range s.held {
 		if s.deferred[obj] || c.reported[obj] {
 			continue
 		}
 		c.reported[obj] = true
-		c.pass.Reportf(pos, "scratch tensor %q is not released by PutScratch on all paths (leaks at line %d)",
-			obj.Name(), c.pass.Fset.Position(exit).Line)
+		c.pass.Reportf(acq.pos, "%s %q is not released by %s on all paths (leaks at line %d)",
+			acq.pair.noun, obj.Name(), acq.pair.put, c.pass.Fset.Position(exit).Line)
 	}
 }
 
@@ -148,9 +191,9 @@ func (c *checker) flowStmt(stmt ast.Stmt, s *state) (*state, bool) {
 					continue
 				}
 				for i, val := range vs.Values {
-					if c.isArenaCall(val, "GetScratch") && i < len(vs.Names) {
+					if p := c.getPair(val); p != nil && i < len(vs.Names) {
 						if obj := c.pass.TypesInfo.Defs[vs.Names[i]]; obj != nil {
-							s.held[obj] = val.Pos()
+							s.held[obj] = acquisition{pos: val.Pos(), pair: p}
 						}
 					}
 				}
@@ -160,8 +203,8 @@ func (c *checker) flowStmt(stmt ast.Stmt, s *state) (*state, bool) {
 	case *ast.ExprStmt:
 		if obj := c.putTarget(st.X); obj != nil {
 			delete(s.held, obj)
-		} else if c.isArenaCall(st.X, "GetScratch") {
-			c.pass.Reportf(st.X.Pos(), "GetScratch result discarded: the scratch tensor can never be released")
+		} else if p := c.getPair(st.X); p != nil {
+			c.pass.Reportf(st.X.Pos(), "%s result discarded: the %s can never be released", p.get, p.noun)
 		}
 		if isPanic(st.X) {
 			return s, true
@@ -224,21 +267,21 @@ func (c *checker) flowStmt(stmt ast.Stmt, s *state) (*state, bool) {
 	return s, false
 }
 
-// flowLoopBody interprets one iteration of a loop body. A scratch tensor
-// acquired inside the body must be dead again by the end of the iteration —
-// each further spin would leak another arena tensor.
+// flowLoopBody interprets one iteration of a loop body. A resource acquired
+// inside the body must be dead again by the end of the iteration — each
+// further spin would leak another pooled buffer.
 func (c *checker) flowLoopBody(body *ast.BlockStmt, entry *state) *state {
 	exit, _ := c.flowBlock(body.List, entry.clone())
-	for obj, pos := range exit.held {
+	for obj, acq := range exit.held {
 		if _, before := entry.held[obj]; before || exit.deferred[obj] || c.reported[obj] {
 			continue
 		}
 		c.reported[obj] = true
-		c.pass.Reportf(pos, "scratch tensor %q acquired in a loop body is still held at the end of the iteration",
-			obj.Name())
+		c.pass.Reportf(acq.pos, "%s %q acquired in a loop body is still held at the end of the iteration",
+			acq.pair.noun, obj.Name())
 		delete(exit.held, obj)
 	}
-	// Releases of pre-loop tensors inside the body are honoured (the loop
+	// Releases of pre-loop resources inside the body are honoured (the loop
 	// is assumed to run; a zero-iteration leak needs //lint:allow).
 	return exit
 }
@@ -299,17 +342,17 @@ func (c *checker) flowCases(stmt ast.Stmt, s *state) (*state, bool) {
 func (c *checker) flowAssign(st *ast.AssignStmt, s *state) {
 	if len(st.Lhs) == len(st.Rhs) {
 		for i, rhs := range st.Rhs {
-			if c.isArenaCall(rhs, "GetScratch") {
+			if p := c.getPair(rhs); p != nil {
 				if id, ok := st.Lhs[i].(*ast.Ident); ok {
 					if obj := c.objOf(id); obj != nil {
-						s.held[obj] = rhs.Pos()
+						s.held[obj] = acquisition{pos: rhs.Pos(), pair: p}
 						continue
 					}
 				}
-				c.pass.Reportf(rhs.Pos(), "GetScratch result stored into a non-variable target; pairing cannot be verified")
+				c.pass.Reportf(rhs.Pos(), "%s result stored into a non-variable target; pairing cannot be verified", p.get)
 				continue
 			}
-			// Storing a held tensor anywhere that outlives the function body
+			// Storing a held resource anywhere that outlives the function body
 			// transfers ownership out of this flow.
 			if id, ok := rhs.(*ast.Ident); ok {
 				if obj := c.objOf(id); obj != nil && s.has(obj) && !isPlainIdent(st.Lhs[i]) {
@@ -321,7 +364,7 @@ func (c *checker) flowAssign(st *ast.AssignStmt, s *state) {
 		}
 		return
 	}
-	// x, y := f() — no arena function has multiple results; just scan for
+	// x, y := f() — no pool function has multiple results; just scan for
 	// transfers inside the RHS.
 	for _, rhs := range st.Rhs {
 		c.transferExpr(rhs, s)
@@ -329,7 +372,8 @@ func (c *checker) flowAssign(st *ast.AssignStmt, s *state) {
 }
 
 // flowDefer recognises `defer PutScratch(x)` and
-// `defer func() { ...; PutScratch(x); ... }()`.
+// `defer func() { ...; PutScratch(x); ... }()` (and the sparse pool
+// equivalents).
 func (c *checker) flowDefer(st *ast.DeferStmt, s *state) {
 	if obj := c.putTarget(st.Call); obj != nil {
 		s.deferred[obj] = true
@@ -390,11 +434,25 @@ func isPanic(e ast.Expr) bool {
 	return ok && id.Name == "panic"
 }
 
-// putTarget returns the released variable's object when expr is
-// `PutScratch(x)` with x a plain identifier, else nil.
+// putTarget returns the released variable's object when expr is a release
+// call of any enforced pair with a plain identifier argument, else nil.
 func (c *checker) putTarget(expr ast.Expr) types.Object {
 	call, ok := expr.(*ast.CallExpr)
-	if !ok || !c.isArenaCall(call, "PutScratch") || len(call.Args) != 1 {
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	fn := c.calledFunc(call)
+	if fn == nil {
+		return nil
+	}
+	match := false
+	for i := range pairs {
+		if fn.Name() == pairs[i].put && fn.Pkg() != nil && fn.Pkg().Path() == pairs[i].pkg {
+			match = true
+			break
+		}
+	}
+	if !match {
 		return nil
 	}
 	id, ok := call.Args[0].(*ast.Ident)
@@ -404,13 +462,27 @@ func (c *checker) putTarget(expr ast.Expr) types.Object {
 	return c.objOf(id)
 }
 
-// isArenaCall reports whether expr calls the named function of the tensor
-// arena (qualified from outside the package or bare inside it).
-func (c *checker) isArenaCall(expr ast.Expr, name string) bool {
+// getPair returns the pair whose acquiring function expr calls, or nil.
+func (c *checker) getPair(expr ast.Expr) *pairSpec {
 	call, ok := expr.(*ast.CallExpr)
 	if !ok {
-		return false
+		return nil
 	}
+	fn := c.calledFunc(call)
+	if fn == nil {
+		return nil
+	}
+	for i := range pairs {
+		if fn.Name() == pairs[i].get && fn.Pkg() != nil && fn.Pkg().Path() == pairs[i].pkg {
+			return &pairs[i]
+		}
+	}
+	return nil
+}
+
+// calledFunc resolves a call's callee to its function object (qualified
+// from outside the defining package or bare inside it).
+func (c *checker) calledFunc(call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
@@ -418,14 +490,10 @@ func (c *checker) isArenaCall(expr ast.Expr, name string) bool {
 	case *ast.SelectorExpr:
 		id = fun.Sel
 	default:
-		return false
+		return nil
 	}
-	obj := c.pass.TypesInfo.Uses[id]
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Name() != name {
-		return false
-	}
-	return fn.Pkg() != nil && fn.Pkg().Path() == arenaPkg
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
 }
 
 // objOf resolves an identifier to its variable object, ignoring the blank

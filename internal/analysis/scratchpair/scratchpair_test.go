@@ -9,5 +9,5 @@ import (
 
 func TestScratchpair(t *testing.T) {
 	analysistest.Run(t, "testdata", scratchpair.Analyzer,
-		"scratch", "fedsu/internal/tensor")
+		"scratch", "sparsepool", "fedsu/internal/tensor")
 }

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+)
+
+// reuseAgg is an identity aggregator that reuses its reply buffers, so any
+// allocation measured below is attributable to the Manager itself.
+type reuseAgg struct {
+	modelBuf, errBuf []float64
+}
+
+func (a *reuseAgg) AggregateModel(_, _ int, values []float64) ([]float64, error) {
+	if values == nil {
+		return nil, nil
+	}
+	a.modelBuf = append(a.modelBuf[:0], values...)
+	return a.modelBuf, nil
+}
+
+func (a *reuseAgg) AggregateError(_, _ int, values []float64) ([]float64, error) {
+	if values == nil {
+		return nil, nil
+	}
+	a.errBuf = append(a.errBuf[:0], values...)
+	return a.errBuf, nil
+}
+
+// TestSyncSteadyStateAllocs pins the allocation-free Sync hot loop: after
+// warmup (bootstrap round, first promotions, aggregator buffer growth), a
+// full Sync round — partitioning, both collectives, speculation, diagnosis
+// — must not allocate at all.
+func TestSyncSteadyStateAllocs(t *testing.T) {
+	const size = 512
+	agg := &reuseAgg{}
+	m, err := NewManager(0, size, agg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]float64, size)
+	k := 0
+	round := func() {
+		for i := range local {
+			// Linear per-parameter trajectories with distinct slopes, so the
+			// steady state exercises speculation and error feedback.
+			local[i] = float64(i) + 0.01*float64(i+1)*float64(k)
+		}
+		if _, _, err := m.Sync(k, local, true); err != nil {
+			t.Fatal(err)
+		}
+		k++
+	}
+	for i := 0; i < 12; i++ {
+		round()
+	}
+	if allocs := testing.AllocsPerRun(25, round); allocs > 0 {
+		t.Errorf("steady-state Sync allocates %.1f times per round, want 0", allocs)
+	}
+}

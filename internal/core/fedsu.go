@@ -182,6 +182,18 @@ type Manager struct {
 	started bool
 	rng     *rand.Rand // v2 launch lottery (shared seed across clients)
 
+	// Per-sync scratch, reused across rounds so a steady-state Sync
+	// performs no allocation. scratchOut backs the vector returned to the
+	// caller — see the ownership note on Sync. scratchSend/scratchErrSend
+	// back the collective submissions; the aggregator only reads them for
+	// the duration of the call (the fl.Server contract), so reusing them
+	// the following round is safe.
+	scratchRegular  []int
+	scratchChecking []int
+	scratchSend     []float64
+	scratchErrSend  []float64
+	scratchOut      []float64
+
 	// Cumulative speculative-round counters for the Fig. 7 linearity CDF.
 	specTotal []int64
 	seenTotal int64
@@ -217,6 +229,12 @@ func NewManager(clientID, size int, agg sparse.Aggregator, opts Options) (*Manag
 		specRounds:    make([]int32, size),
 		specTotal:     make([]int64, size),
 		rng:           rand.New(rand.NewSource(opts.Seed)),
+
+		scratchRegular:  make([]int, 0, size),
+		scratchChecking: make([]int, 0, size),
+		scratchSend:     make([]float64, size),
+		scratchErrSend:  make([]float64, size),
+		scratchOut:      make([]float64, size),
 	}
 	for i := range m.mode {
 		m.mode[i] = modeRegular
@@ -292,12 +310,17 @@ func (m *Manager) LinearFractions() []float64 {
 
 // Sync implements sparse.Syncer, following Algorithm 1 and the Fig. 3
 // workflow. local is the client's post-training parameter vector x.
+//
+// The returned vector is owned by the Manager: it stays valid until the
+// next Sync/SyncCtx call on the same Manager, which reuses its storage.
+// Callers that keep per-round outputs across rounds must copy.
 func (m *Manager) Sync(round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
 	return m.SyncCtx(context.Background(), round, local, contributor)
 }
 
 // SyncCtx implements sparse.ContextSyncer: the collectives honour ctx
-// cancellation when the aggregator supports it.
+// cancellation when the aggregator supports it. The returned vector is
+// manager-owned scratch — see Sync.
 func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
 	if len(local) != m.size {
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: vector length %d, want %d", len(local), m.size)
@@ -312,8 +335,11 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 
 	// Partition parameters: regular (synchronized), speculative
 	// (predicted), and speculative-with-expiring-check (error aggregated).
-	regular := make([]int, 0, m.size)
-	checking := make([]int, 0)
+	// The index slices never outgrow their construction-time capacity
+	// (both are bounded by m.size), so the appends below cannot
+	// reallocate.
+	regular := m.scratchRegular[:0]
+	checking := m.scratchChecking[:0]
 	for i := 0; i < m.size; i++ {
 		switch m.mode[i] {
 		case modeRegular:
@@ -328,7 +354,7 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 	// Collective 1: aggregate the regular parameters' values.
 	var send []float64
 	if contributor {
-		send = make([]float64, len(regular))
+		send = m.scratchSend[:len(regular)]
 		for j, i := range regular {
 			send[j] = local[i]
 		}
@@ -341,7 +367,7 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: model aggregate returned %d values for %d regular params", len(aggModel), len(regular))
 	}
 
-	out := make([]float64, m.size)
+	out := m.scratchOut
 
 	// Regular parameters take the aggregated global value.
 	for j, i := range regular {
@@ -368,11 +394,14 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 	}
 
 	// Collective 2: error feedback for parameters whose no-checking period
-	// expires this round (full FedSU only).
+	// expires this round (full FedSU only). errUpBytes/errDownBytes record
+	// its wire cost; they stay zero in rounds where the collective never
+	// runs (no message, not even a header).
+	var errUpBytes, errDownBytes int
 	if m.opts.Variant == VariantFull && len(checking) > 0 {
 		var errSend []float64
 		if contributor {
-			errSend = make([]float64, len(checking))
+			errSend = m.scratchErrSend[:len(checking)]
 			for j, i := range checking {
 				errSend[j] = m.accumErr[i]
 			}
@@ -384,6 +413,8 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 		if aggErr != nil && len(aggErr) != len(checking) {
 			return nil, sparse.Traffic{}, fmt.Errorf("fedsu: error aggregate returned %d values for %d checking params", len(aggErr), len(checking))
 		}
+		errUpBytes = sparse.MessageBytes(errSend)
+		errDownBytes = sparse.MessageBytes(aggErr)
 		for j, i := range checking {
 			var e float64
 			if aggErr != nil {
@@ -437,16 +468,15 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 	if m.opts.Variant == VariantFull {
 		nChk = len(checking)
 	}
+	// Actual encoded bytes of the collective payloads: an abstaining
+	// non-contributor uploads framing only, and a collective with no
+	// contributors answers with a header-only downlink.
 	tr := sparse.Traffic{
-		UpBytes:       nReg*sparse.BytesPerValue + sparse.HeaderBytes,
-		DownBytes:     nReg*sparse.BytesPerValue + sparse.HeaderBytes,
+		UpBytes:       sparse.MessageBytes(send) + errUpBytes,
+		DownBytes:     sparse.MessageBytes(aggModel) + errDownBytes,
 		SyncedParams:  nReg,
 		CheckedParams: nChk,
 		TotalParams:   m.size,
-	}
-	if nChk > 0 {
-		tr.UpBytes += nChk*sparse.BytesPerValue + sparse.HeaderBytes
-		tr.DownBytes += nChk*sparse.BytesPerValue + sparse.HeaderBytes
 	}
 	return out, tr, nil
 }
@@ -455,13 +485,14 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, contributor bool) ([]float64, sparse.Traffic, error) {
 	var send []float64
 	if contributor {
-		send = append([]float64(nil), local...)
+		send = m.scratchSend[:m.size]
+		copy(send, local)
 	}
 	agg, err := sparse.AggModel(ctx, m.agg, m.id, round, send)
 	if err != nil {
 		return nil, sparse.Traffic{}, fmt.Errorf("fedsu: bootstrap aggregate: %w", err)
 	}
-	out := make([]float64, m.size)
+	out := m.scratchOut
 	if agg != nil {
 		copy(out, agg)
 	} else {
@@ -471,8 +502,8 @@ func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, con
 	m.started = true
 	m.seenTotal++
 	return out, sparse.Traffic{
-		UpBytes:      m.size*sparse.BytesPerValue + sparse.HeaderBytes,
-		DownBytes:    m.size*sparse.BytesPerValue + sparse.HeaderBytes,
+		UpBytes:      sparse.MessageBytes(send),
+		DownBytes:    sparse.MessageBytes(agg),
 		SyncedParams: m.size,
 		TotalParams:  m.size,
 	}, nil

@@ -135,20 +135,30 @@ func TestFeedbackSignalNormalization(t *testing.T) {
 func TestTrafficByteAccounting(t *testing.T) {
 	opts := DefaultOptions()
 	m, _ := newTestManager(t, 10, opts)
-	_, tr, err := m.Sync(0, make([]float64, 10), true)
+	// Nonzero values so the dense exchange costs the full bitmap encoding;
+	// expectations come from the wire codec itself (MessageBytes).
+	local := make([]float64, 10)
+	for i := range local {
+		local[i] = float64(i + 1)
+	}
+	_, tr, err := m.Sync(0, local, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantUp := 10*sparse.BytesPerValue + sparse.HeaderBytes
-	if tr.UpBytes != wantUp || tr.DownBytes != wantUp {
-		t.Errorf("bootstrap traffic = %d/%d, want %d", tr.UpBytes, tr.DownBytes, wantUp)
+	want := sparse.MessageBytes(local)
+	if tr.UpBytes != want || tr.DownBytes != want {
+		t.Errorf("bootstrap traffic = %d/%d, want %d", tr.UpBytes, tr.DownBytes, want)
 	}
-	_, tr, err = m.Sync(1, make([]float64, 10), true)
+	for i := range local {
+		local[i] = float64(i+1) + 0.5
+	}
+	_, tr, err = m.Sync(1, local, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.UpBytes != wantUp {
-		t.Errorf("regular round traffic = %d, want %d", tr.UpBytes, wantUp)
+	// Round 1 still exchanges every (regular) parameter.
+	if tr.UpBytes != want {
+		t.Errorf("regular round traffic = %d, want %d", tr.UpBytes, want)
 	}
 	if tr.CheckedParams != 0 {
 		t.Errorf("no params should check on round 1, got %d", tr.CheckedParams)

@@ -51,7 +51,9 @@ func drive(t *testing.T, m *Manager, rounds int, traj func(k int) []float64) ([]
 		if err != nil {
 			t.Fatalf("round %d: %v", k, err)
 		}
-		outs = append(outs, out)
+		// Sync's result is manager-owned scratch, valid only until the next
+		// call — retaining it across rounds requires a copy.
+		outs = append(outs, append([]float64(nil), out...))
 		trs = append(trs, tr)
 	}
 	return outs, trs

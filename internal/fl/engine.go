@@ -257,7 +257,7 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	computeSec := e.compute.RoundCompute(e.wireParams(), e.cfg.LocalIters)
 	loads := e.prevLoads
 	if loads == nil {
-		full := int(float64(e.evalModel.Size()*sparse.BytesPerValue+sparse.HeaderBytes) * scale)
+		full := int(float64(sparse.DenseMessageBytes(e.evalModel.Size())) * scale)
 		loads = e.cluster.UniformLoad(full, full, computeSec)
 	}
 	outcome := e.cluster.Round(loads)

@@ -9,7 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"fedsu/internal/par"
+	"fedsu/internal/sparse"
 )
 
 // ErrEvicted reports that a client was evicted from the session after
@@ -38,8 +42,20 @@ func (e *EvictedError) Unwrap() error { return ErrEvicted }
 // contributing participants.
 //
 // Submission order across clients is arbitrary (clients run in goroutines),
-// but results are deterministic: contributions are summed in client-id
-// order once the barrier fills.
+// but results are deterministic: contributions are folded in client-id
+// order, and the parallel fold shards over the parameter index so every
+// element sees the exact same addition sequence at every worker count.
+//
+// # Streaming aggregation
+//
+// The server never holds its mutex across O(model) work. A submission is
+// copied into a pooled staging buffer outside the lock, published to the
+// collective's fold state, and folded into the running sum as soon as every
+// lower client id has resolved (submitted, abstained, or been evicted) — the
+// "frontier". Folding happens under a per-collective fold lock on whichever
+// client goroutine gets there first, parallelized over the parameter
+// dimension by internal/par, so ingest overlaps with stragglers' uploads
+// and the barrier-close step only has to drain whatever is still staged.
 //
 // # Fault tolerance
 //
@@ -58,6 +74,11 @@ type Server struct {
 	participants map[int]bool
 	round        int
 	ops          map[opKey]*op
+
+	// opFree recycles completed op shells (maps, slices, fold scratch)
+	// across rounds so a steady-state collective allocates nothing but its
+	// done channel and result.
+	opFree []*op
 
 	// roster is the set of client ids expected at every barrier; nil means
 	// the implied roster {0..numClients-1}. Evicted ids are removed.
@@ -78,18 +99,81 @@ type opKey struct {
 	kind  string
 }
 
+// Per-position submission status, published with atomic stores so the fold
+// path can read it without the server mutex.
+const (
+	posPending uint32 = iota // not yet resolved
+	posStaged                // contribution copied and staged
+	posSkip                  // resolved without contributing (abstain, non-participant, evicted)
+)
+
+// foldGrain aligns parallel fold chunks; any value works for bit-identity
+// (the per-element addition order never depends on chunking), this one just
+// amortizes dispatch.
+const foldGrain = 1024
+
+// drainMinBatch keeps opportunistic mid-barrier drains from paying a fold
+// pass per contribution: a drain that would fold fewer staged buffers than
+// this leaves them for a later, larger batch (the completion drain takes
+// everything).
+const drainMinBatch = 4
+
 type op struct {
-	need     int
-	subs     int
-	byID     map[int][]float64
-	ids      []int
-	pending  map[int]bool
-	result   []float64
-	done     chan struct{}
-	finished bool
-	failure  error
-	timer    *time.Timer
-	extended bool
+	// Barrier bookkeeping, guarded by Server.mu.
+	need      int
+	subs      int
+	submitted map[int]bool
+	pending   map[int]bool
+	finished  bool
+	timer     *time.Timer
+	extended  bool
+
+	// Immutable after creation: the op's roster in ascending id order, and
+	// the id → position index.
+	order []int
+	pos   map[int]int
+
+	// status[p] is written by stagers and evictions (atomic release) and
+	// read by the fold path (atomic acquire); staged[p] is published by the
+	// posStaged store and only read after the corresponding load.
+	//
+	// staged[p] normally references the SUBMITTING CALLER'S slice: the
+	// caller stays blocked in wait() until the barrier closes, so the slice
+	// is stable for exactly as long as the fold needs it, and the hot path
+	// never copies. The one escape hatch — a caller abandoning the wait on
+	// ctx cancellation, after which it may legally reuse its slice — goes
+	// through detach(), which snapshots the contribution into a pooled
+	// buffer first. ownedPtr[p] is non-nil iff staged[p] is such a pooled
+	// copy (to be released at completion).
+	status   []atomic.Uint32
+	staged   [][]float64
+	ownedPtr []*[]float64
+
+	// Fold state, guarded by foldMu. frontier counts resolved-and-folded
+	// positions; sumLen is -1 until the first contribution fixes the
+	// element count; strays holds contributions from ids outside the op's
+	// roster, which force a full ordered refold at completion.
+	foldMu   sync.Mutex
+	frontier int
+	folded   int
+	sumLen   int
+	sum      []float64
+	lenFail  error
+	strays   map[int]*[]float64
+
+	// Scratch for fold batches, plus persistent parallel kernels (created
+	// once per op shell so steady-state folds allocate nothing).
+	batch    [][]float64
+	batchIDs []int
+	foldVals [][]float64
+	scaleInv float64
+	foldFn   func(lo, hi int)
+	scaleFn  func(lo, hi int)
+
+	// Published under foldMu before done closes; read by waiters after.
+	result  []float64
+	failure error
+	done    chan struct{}
 }
 
 // NewServer constructs a server expecting numClients submissions per
@@ -192,12 +276,12 @@ func (s *Server) TimeoutCount() int {
 // BeginRound declares the active round and the participation quorum: only
 // listed clients' submissions contribute to averages this round (everyone
 // still synchronizes and receives results). It also garbage-collects
-// collectives from earlier rounds.
+// collectives from earlier rounds, recycling their op shells.
 func (s *Server) BeginRound(round int, participants []int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.round = round
-	s.participants = make(map[int]bool, len(participants))
+	clear(s.participants)
 	for _, id := range participants {
 		s.participants[id] = true
 	}
@@ -205,10 +289,16 @@ func (s *Server) BeginRound(round int, participants []int) {
 	// collective is in flight (every barrier of the previous round has
 	// released its waiters, and waiters hold direct op pointers), and a
 	// checkpoint restore may legitimately replay an earlier round index,
-	// so the whole map is cleared rather than just older rounds.
+	// so the whole map is cleared rather than just older rounds. Finished
+	// ops go back to the free list; an unfinished op (contract violation)
+	// is dropped rather than recycled, since waiters may still hold it.
 	for k, o := range s.ops {
 		if o.timer != nil {
 			o.timer.Stop()
+			o.timer = nil
+		}
+		if o.finished {
+			s.recycleOpLocked(o)
 		}
 		delete(s.ops, k)
 	}
@@ -223,19 +313,25 @@ func (s *Server) SetNumClients(n int) {
 	s.numClients = n
 }
 
-// AggregateModel implements sparse.Aggregator.
+// AggregateModel implements sparse.Aggregator. values is only read for the
+// duration of the call — the server stages its own copy — so callers may
+// reuse the slice immediately after return. The returned slice is shared
+// by every waiter of the collective and must not be mutated.
 func (s *Server) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
 	return s.aggregate(context.Background(), clientID, round, "model", values)
 }
 
-// AggregateError implements sparse.Aggregator.
+// AggregateError implements sparse.Aggregator, with the same ownership
+// contract as AggregateModel.
 func (s *Server) AggregateError(clientID, round int, values []float64) ([]float64, error) {
 	return s.aggregate(context.Background(), clientID, round, "error", values)
 }
 
 // AggregateModelCtx implements sparse.ContextAggregator: the barrier wait
 // aborts with ctx.Err() on cancellation. The submission itself stays
-// registered, so the collective still completes for the other clients.
+// registered (the server's staged copy, so the caller's slice is safe to
+// reuse even after an abandoned wait), and the collective still completes
+// for the other clients.
 func (s *Server) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
 	return s.aggregate(ctx, clientID, round, "model", values)
 }
@@ -245,23 +341,106 @@ func (s *Server) AggregateErrorCtx(ctx context.Context, clientID, round int, val
 	return s.aggregate(ctx, clientID, round, "error", values)
 }
 
-// rosterPending returns the not-yet-submitted set for a fresh op: the
-// explicit roster when set, else the implied {0..numClients-1}, minus
-// evicted ids. Caller holds s.mu.
-func (s *Server) rosterPending() map[int]bool {
-	pending := make(map[int]bool, s.numClients)
+// newOpLocked builds (or recycles) an op for the current roster. Caller
+// holds s.mu.
+func (s *Server) newOpLocked() *op {
+	var o *op
+	if n := len(s.opFree); n > 0 {
+		o, s.opFree = s.opFree[n-1], s.opFree[:n-1]
+	} else {
+		o = &op{
+			submitted: map[int]bool{},
+			pending:   map[int]bool{},
+			pos:       map[int]int{},
+			sumLen:    -1,
+		}
+		// The fold kernels live as long as the op shell: they read the
+		// current batch fields, so a steady-state fold performs no closure
+		// allocation. Synchronization is by par's dispatch (channel send
+		// before, WaitGroup after), not by foldMu.
+		o.foldFn = func(lo, hi int) {
+			dst := o.sum[lo:hi]
+			for _, v := range o.foldVals {
+				src := v[lo:hi]
+				for i := range dst {
+					dst[i] += src[i]
+				}
+			}
+		}
+		o.scaleFn = func(lo, hi int) {
+			dst := o.sum[lo:hi]
+			inv := o.scaleInv
+			for i := range dst {
+				dst[i] *= inv
+			}
+		}
+	}
+	o.done = make(chan struct{})
 	if s.roster != nil {
 		for id := range s.roster {
-			pending[id] = true
+			o.pending[id] = true
 		}
-		return pending
-	}
-	for id := 0; id < s.numClients; id++ {
-		if !s.evicted[id] {
-			pending[id] = true
+	} else {
+		for id := 0; id < s.numClients; id++ {
+			if !s.evicted[id] {
+				o.pending[id] = true
+			}
 		}
 	}
-	return pending
+	o.need = len(o.pending)
+	o.order = o.order[:0]
+	for id := range o.pending {
+		o.order = append(o.order, id)
+	}
+	sortInts(o.order)
+	for p, id := range o.order {
+		o.pos[id] = p
+	}
+	n := len(o.order)
+	if cap(o.status) >= n {
+		o.status = o.status[:n]
+		o.staged = o.staged[:n]
+		o.ownedPtr = o.ownedPtr[:n]
+	} else {
+		o.status = make([]atomic.Uint32, n)
+		o.staged = make([][]float64, n)
+		o.ownedPtr = make([]*[]float64, n)
+	}
+	for i := range o.status {
+		o.status[i].Store(posPending)
+		o.staged[i] = nil
+		o.ownedPtr[i] = nil
+	}
+	return o
+}
+
+// recycleOpLocked resets a finished op shell onto the free list. Caller
+// holds s.mu; no waiter can still be inside the op (BeginRound contract).
+func (s *Server) recycleOpLocked(o *op) {
+	clear(o.submitted)
+	clear(o.pending)
+	clear(o.pos)
+	o.subs, o.need = 0, 0
+	o.finished, o.extended = false, false
+	o.frontier, o.folded, o.sumLen = 0, 0, -1
+	o.sum, o.result = nil, nil
+	o.failure, o.lenFail = nil, nil
+	o.done = nil
+	// Completion already released the staged buffers; a straggler that
+	// published after the barrier closed is swept here.
+	for p := range o.staged {
+		sparse.PutVec(o.ownedPtr[p])
+		o.ownedPtr[p] = nil
+		o.staged[p] = nil
+	}
+	for id, buf := range o.strays {
+		sparse.PutVec(buf)
+		delete(o.strays, id)
+	}
+	o.batch = o.batch[:0]
+	o.batchIDs = o.batchIDs[:0]
+	o.foldVals = nil
+	s.opFree = append(s.opFree, o)
 }
 
 func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string, values []float64) ([]float64, error) {
@@ -273,19 +452,13 @@ func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string
 	key := opKey{round: round, kind: kind}
 	o, ok := s.ops[key]
 	if !ok {
-		pending := s.rosterPending()
-		o = &op{
-			need:    len(pending),
-			byID:    map[int][]float64{},
-			pending: pending,
-			done:    make(chan struct{}),
-		}
+		o = s.newOpLocked()
 		if s.deadline > 0 {
 			o.timer = time.AfterFunc(s.deadline, func() { s.expire(key) })
 		}
 		s.ops[key] = o
 	}
-	if _, dup := o.byID[clientID]; dup {
+	if o.submitted[clientID] {
 		if !s.idempotent {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("fl: client %d double-submitted %s collective of round %d", clientID, kind, round)
@@ -293,35 +466,253 @@ func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string
 		// Retry after a dropped connection: the first submission is already
 		// in the barrier; just wait for (or return) the result.
 		s.mu.Unlock()
-		return s.wait(ctx, o)
+		return s.wait(ctx, o, -1)
 	}
-	if values != nil && s.participants[clientID] {
-		o.byID[clientID] = values
-		o.ids = append(o.ids, clientID)
-	} else {
-		o.byID[clientID] = nil
-	}
+	o.submitted[clientID] = true
 	delete(o.pending, clientID)
-	o.subs++
-	if o.subs >= o.need {
-		o.finish()
-	}
+	contributing := values != nil && s.participants[clientID]
+	closed := o.finished
 	s.mu.Unlock()
 
-	return s.wait(ctx, o)
+	detach := -1
+	if !closed {
+		// O(model) work — staging and any opportunistic fold — happens
+		// here, outside the server mutex.
+		detach = s.stage(o, clientID, values, contributing)
+
+		s.mu.Lock()
+		o.subs++
+		completer := !o.finished && o.subs >= o.need
+		if completer {
+			o.finished = true
+			if o.timer != nil {
+				o.timer.Stop()
+			}
+		}
+		s.mu.Unlock()
+		if completer {
+			s.complete(o)
+		}
+	}
+	return s.wait(ctx, o, detach)
 }
 
-// wait blocks until the op completes or ctx is cancelled.
-func (s *Server) wait(ctx context.Context, o *op) ([]float64, error) {
+// stage publishes a contribution to the fold state and opportunistically
+// drains the fold frontier. Roster contributions are staged by reference —
+// the submitting caller stays blocked until the barrier closes, so its
+// slice is stable for the fold's lifetime; an abandoned wait detaches a
+// copy first (see wait). The returned position is the caller's detach
+// index, or -1 when nothing reference-staged. This fixes the historical
+// aliasing bug where the server retained the slice past the call and a
+// client reusing its round vector could corrupt an open barrier.
+func (s *Server) stage(o *op, clientID int, values []float64, contributing bool) int {
+	p, inRoster := o.pos[clientID]
+	if !contributing {
+		if inRoster {
+			o.status[p].Store(posSkip)
+			s.tryDrain(o)
+		}
+		return -1
+	}
+	if inRoster {
+		o.staged[p] = values
+		o.status[p].Store(posStaged)
+		s.tryDrain(o)
+		return p
+	}
+	// A contributor outside the op's roster snapshot (readmitted mid-round,
+	// or a participant excluded from SetRoster). It still counts toward the
+	// mean, but its id can interleave anywhere in the fold order, so its
+	// presence forces completion to refold everything from the retained
+	// contributions. Strays are rare: copy eagerly rather than wiring them
+	// into the detach path.
+	buf := sparse.GetVec(len(values))
+	copy(*buf, values)
+	o.foldMu.Lock()
+	if o.strays == nil {
+		o.strays = map[int]*[]float64{}
+	}
+	o.strays[clientID] = buf
+	o.foldMu.Unlock()
+	return -1
+}
+
+// tryDrain folds whatever the frontier allows if the fold lock is free;
+// otherwise the current holder (or the completion drain) picks the work up.
+func (s *Server) tryDrain(o *op) {
+	if !o.foldMu.TryLock() {
+		return
+	}
+	o.drainLocked(false)
+	o.foldMu.Unlock()
+}
+
+// drainLocked advances the frontier over resolved positions, folding staged
+// contributions in ascending client-id order. With final set (completion),
+// positions that never resolved — possible when stray submissions filled
+// the quorum — contribute nothing, matching the contributors-only mean.
+// Caller holds foldMu.
+func (o *op) drainLocked(final bool) {
+	for {
+		o.batch = o.batch[:0]
+		o.batchIDs = o.batchIDs[:0]
+		f := o.frontier
+		for f < len(o.order) {
+			st := o.status[f].Load()
+			if st == posPending {
+				if !final {
+					break
+				}
+			} else if st == posStaged {
+				o.batch = append(o.batch, o.staged[f])
+				o.batchIDs = append(o.batchIDs, o.order[f])
+			}
+			f++
+		}
+		if f == o.frontier {
+			return
+		}
+		if !final && len(o.batch) > 0 && len(o.batch) < drainMinBatch {
+			// Not worth a fold pass yet; leave the run staged for a larger
+			// batch. (Skip-only runs always advance, above.)
+			return
+		}
+		o.frontier = f
+		o.foldBatchLocked()
+		if final {
+			return
+		}
+	}
+}
+
+// foldBatchLocked folds o.batch (ascending ids) into the running sum with
+// one parallel pass over the parameter dimension. Every element receives
+// the batch's additions in id order within a single chunk, so the result
+// is bit-identical at every worker count and grain. Caller holds foldMu.
+func (o *op) foldBatchLocked() {
+	if o.lenFail != nil {
+		return
+	}
+	k := 0
+	for k < len(o.batch) {
+		v := o.batch[k]
+		if o.sumLen < 0 {
+			o.sumLen = len(v)
+			o.sum = make([]float64, o.sumLen)
+		}
+		if len(v) != o.sumLen {
+			o.lenFail = fmt.Errorf("fl: client %d submitted %d values, others %d", o.batchIDs[k], len(v), o.sumLen)
+			break
+		}
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	o.foldVals = o.batch[:k]
+	par.ParallelizeGrain(o.sumLen, foldGrain, o.foldFn)
+	o.folded += k
+	o.foldVals = nil
+}
+
+// refoldLocked recomputes the fold from scratch over every retained
+// contribution — roster positions and strays together, sorted ascending —
+// restoring the exact client-id-order mean when stray ids would otherwise
+// have interleaved below the already-folded frontier. Caller holds foldMu.
+func (o *op) refoldLocked() {
+	o.batch = o.batch[:0]
+	o.batchIDs = o.batchIDs[:0]
+	for p, id := range o.order {
+		if o.status[p].Load() == posStaged {
+			o.batch = append(o.batch, o.staged[p])
+			o.batchIDs = append(o.batchIDs, id)
+		}
+	}
+	for id, buf := range o.strays {
+		o.batch = append(o.batch, *buf)
+		o.batchIDs = append(o.batchIDs, id)
+	}
+	// Co-sort by id (insertion: small, mostly sorted already).
+	for i := 1; i < len(o.batchIDs); i++ {
+		id, v := o.batchIDs[i], o.batch[i]
+		j := i - 1
+		for j >= 0 && o.batchIDs[j] > id {
+			o.batchIDs[j+1], o.batch[j+1] = o.batchIDs[j], o.batch[j]
+			j--
+		}
+		o.batchIDs[j+1], o.batch[j+1] = id, v
+	}
+	o.sum, o.sumLen = nil, -1
+	o.folded = 0
+	o.lenFail = nil
+	o.foldBatchLocked()
+}
+
+// complete drains the remaining fold work, publishes the mean (or the
+// failure), releases the staged buffers, and wakes every waiter. It runs
+// outside s.mu on exactly one goroutine per op (guarded by o.finished).
+func (s *Server) complete(o *op) {
+	o.foldMu.Lock()
+	o.drainLocked(true)
+	if len(o.strays) > 0 {
+		o.refoldLocked()
+	}
+	if o.lenFail != nil {
+		o.failure = o.lenFail
+	} else if o.folded > 0 {
+		o.scaleInv = 1.0 / float64(o.folded)
+		par.ParallelizeGrain(o.sumLen, foldGrain, o.scaleFn)
+		o.result = o.sum
+	}
+	// Drop every staged reference — caller slices are about to go back to
+	// their owners, pooled copies back to the pool — so a post-completion
+	// detach sees nil and does nothing.
+	for p := range o.staged {
+		sparse.PutVec(o.ownedPtr[p])
+		o.ownedPtr[p] = nil
+		o.staged[p] = nil
+	}
+	for id, buf := range o.strays {
+		sparse.PutVec(buf)
+		delete(o.strays, id)
+	}
+	o.foldMu.Unlock()
+	close(o.done)
+}
+
+// wait blocks until the op completes or ctx is cancelled. detach is the
+// caller's reference-staged position (-1 if none): on an abandoned wait
+// the contribution is snapshotted into a pooled buffer first, because the
+// caller may legally reuse its slice the moment this returns while the
+// barrier is still open.
+func (s *Server) wait(ctx context.Context, o *op, detach int) ([]float64, error) {
 	select {
 	case <-o.done:
 	case <-ctx.Done():
+		if detach >= 0 {
+			o.detach(detach)
+		}
 		return nil, ctx.Err()
 	}
 	if o.failure != nil {
 		return nil, o.failure
 	}
 	return o.result, nil
+}
+
+// detach replaces a reference-staged contribution with a pooled copy. The
+// fold lock excludes concurrent drains, so the swap is safe even while the
+// barrier is mid-fold; after completion the slot is nil and the slice is
+// no longer needed.
+func (o *op) detach(p int) {
+	o.foldMu.Lock()
+	if o.staged[p] != nil && o.ownedPtr[p] == nil {
+		buf := sparse.GetVec(len(o.staged[p]))
+		copy(*buf, o.staged[p])
+		o.staged[p] = *buf
+		o.ownedPtr[p] = buf
+	}
+	o.foldMu.Unlock()
 }
 
 // expire closes a deadline-expired barrier: every pending client is either
@@ -332,9 +723,9 @@ func (s *Server) wait(ctx context.Context, o *op) ([]float64, error) {
 // the round's remaining barriers for another full deadline.
 func (s *Server) expire(key opKey) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	o := s.ops[key]
 	if o == nil || o.finished || len(o.pending) == 0 {
+		s.mu.Unlock()
 		return
 	}
 	if !o.extended && s.aliveProbe != nil {
@@ -342,20 +733,32 @@ func (s *Server) expire(key opKey) {
 			if s.aliveProbe(id) {
 				o.extended = true
 				o.timer.Reset(s.deadline)
+				s.mu.Unlock()
 				return
 			}
 		}
 	}
 	s.timeouts++
+	missing := make([]int, 0, len(o.pending))
 	for id := range o.pending {
-		s.evictLocked(id)
+		missing = append(missing, id)
+	}
+	var completable []*op
+	for _, id := range missing {
+		s.evictLocked(id, &completable)
+	}
+	s.mu.Unlock()
+	// The heavy close-out (drain, scale, waking waiters) runs unlocked.
+	for _, c := range completable {
+		s.complete(c)
 	}
 }
 
 // evictLocked removes a client from the roster and from every in-flight
-// collective, finishing barriers that now have all remaining submissions.
-// Caller holds s.mu.
-func (s *Server) evictLocked(clientID int) {
+// collective. Barriers that now have all remaining submissions are marked
+// finished and appended to completable for the caller to close out after
+// releasing s.mu. Caller holds s.mu.
+func (s *Server) evictLocked(clientID int, completable *[]*op) {
 	if s.evicted[clientID] {
 		return
 	}
@@ -369,49 +772,17 @@ func (s *Server) evictLocked(clientID int) {
 		}
 		delete(o.pending, clientID)
 		o.need--
+		if p, ok := o.pos[clientID]; ok {
+			o.status[p].Store(posSkip)
+		}
 		if o.subs >= o.need {
+			o.finished = true
 			if o.timer != nil {
 				o.timer.Stop()
 			}
-			o.finish()
+			*completable = append(*completable, o)
 		}
 	}
-}
-
-// finish computes the mean over contributors in client-id order and
-// releases all waiters. Caller holds s.mu.
-func (o *op) finish() {
-	if o.finished {
-		return
-	}
-	o.finished = true
-	if o.timer != nil {
-		o.timer.Stop()
-	}
-	defer close(o.done)
-	if len(o.ids) == 0 {
-		o.result = nil
-		return
-	}
-	// Deterministic order: ascending client id.
-	sortInts(o.ids)
-	first := o.byID[o.ids[0]]
-	sum := make([]float64, len(first))
-	for _, id := range o.ids {
-		v := o.byID[id]
-		if len(v) != len(sum) {
-			o.failure = fmt.Errorf("fl: client %d submitted %d values, others %d", id, len(v), len(sum))
-			return
-		}
-		for i := range sum {
-			sum[i] += v[i]
-		}
-	}
-	inv := 1.0 / float64(len(o.ids))
-	for i := range sum {
-		sum[i] *= inv
-	}
-	o.result = sum
 }
 
 func sortInts(a []int) {

@@ -166,7 +166,7 @@ func TestIdempotentResubmission(t *testing.T) {
 			s.mu.Lock()
 			var landed bool
 			if o := s.ops[opKey{round: 0, kind: "model"}]; o != nil {
-				_, landed = o.byID[0]
+				landed = o.submitted[0]
 			}
 			s.mu.Unlock()
 			if landed {

@@ -211,7 +211,9 @@ func (c *Client) ModelSize() int {
 }
 
 // Counters exposes the client's operational counters (retries,
-// reconnects, heartbeat_failures).
+// reconnects, heartbeat_failures, and agg_tx_bytes / agg_rx_bytes — the
+// encoded payload bytes shipped and received, retransmissions not
+// double-counted).
 func (c *Client) Counters() *trace.Counters { return c.counters }
 
 // Close releases the connection and stops the heartbeat.
@@ -261,7 +263,18 @@ func (c *Client) AggregateErrorCtx(ctx context.Context, clientID, round int, val
 // Application-level errors (eviction, unknown kind, length mismatch) are
 // terminal: retrying them cannot succeed.
 func (c *Client) call(ctx context.Context, kind string, clientID, round int, values []float64) ([]float64, error) {
-	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
+	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Abstain: values == nil}
+	if values != nil {
+		// Encode into a pooled buffer sized exactly by VectorPayloadSize.
+		// net/rpc writes the request synchronously inside Go — by the time
+		// any attempt returns (even via ctx), the bytes are on the wire — so
+		// the buffer is recyclable when this call exits, retries included.
+		wireBuf := sparse.GetWireBuf(sparse.VectorPayloadSize(values))
+		defer sparse.PutWireBuf(wireBuf)
+		*wireBuf = sparse.AppendVectorPayload(*wireBuf, values)
+		args.Payload = *wireBuf
+		c.counters.Add("agg_tx_bytes", int64(len(args.Payload)))
+	}
 	backoff := c.cfg.RetryBase
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -283,9 +296,16 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 		var reply AggReply
 		err = c.do(ctx, rc, ServiceName+".Aggregate", args, &reply)
 		if err == nil {
-			// contribution() resolves the gob nil-vs-empty wire ambiguity;
-			// reply.Nil is the source of truth for "no contributors".
-			return reply.contribution(), nil
+			// contribution() decodes the vector payload; reply.Nil is the
+			// source of truth for "no contributors". The decode allocates a
+			// fresh slice on purpose: the result is handed to strategy code
+			// that retains it across the round.
+			c.counters.Add("agg_rx_bytes", int64(len(reply.Payload)))
+			out, derr := reply.contribution(c.ModelSize())
+			if derr != nil {
+				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, derr)
+			}
+			return out, nil
 		}
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, ctx.Err())

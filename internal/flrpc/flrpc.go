@@ -1,8 +1,17 @@
 // Package flrpc provides the real-network deployment mode of the federated
 // engine: a TCP coordinator exposing the aggregation collectives over
-// net/rpc (stdlib, gob-encoded), and a client-side sparse.Aggregator that
-// calls into it. It plays the role RPyC plays in the paper's Python
-// implementation.
+// net/rpc (stdlib), and a client-side sparse.Aggregator that calls into
+// it. It plays the role RPyC plays in the paper's Python implementation.
+//
+// The rpc envelope is gob, but the parameter vectors themselves travel as
+// sparse vector-codec payloads (sparse.AppendVectorPayload): a
+// self-describing bitmap/index body over the nonzero entries with float32
+// values — the paper's 32-bit traffic model — instead of gob's ~9
+// bytes-per-float64 framing. Encode buffers are pooled on the client and
+// decode vectors are pooled on the coordinator, so a steady-state
+// collective round performs no payload allocation on the hot path; the
+// coordinator additionally encodes each collective's reply once and serves
+// the cached bytes to every waiter.
 //
 // The in-process engine (internal/fl) and this package share the exact same
 // strategy code: a FedSU manager cannot tell whether its Aggregator is the
@@ -85,51 +94,46 @@ type AggArgs struct {
 	Round    int
 	// Kind selects the collective: "model" or "error".
 	Kind string
-	// Values is the contribution. Abstain — not a nil Values — is the wire
-	// truth for abstention: gob flattens a non-nil empty slice to nil in
-	// transit, so a zero-length contribution is indistinguishable from nil
-	// on arrival.
-	Values  []float64
+	// Payload is the contribution encoded with the sparse vector codec
+	// (sparse.AppendVectorPayload). Abstain — not an empty Payload — is the
+	// wire truth for abstention: gob flattens a non-nil empty slice to nil
+	// in transit, and every real contribution (including the zero-length
+	// one) encodes to a non-empty payload, so the flag keeps the two
+	// unambiguous on arrival.
+	Payload []byte
 	Abstain bool
 }
 
-// contribution returns the submitted vector with the gob wire ambiguity
-// resolved: Abstain — not Values == nil — is the wire truth for
-// abstention, and a contributing submission whose slice gob flattened to
-// nil in transit is restored to the empty contribution it was sent as.
-// Both the coordinator and the wire fuzz target route through this single
-// normalization point.
-func (a AggArgs) contribution() []float64 {
+// contribution decodes the submitted vector, resolving the abstention
+// ambiguity: Abstain returns nil (no contribution), everything else
+// decodes the payload — a zero-length contribution comes back empty but
+// non-nil, exactly as sent. dst and maxParams follow
+// sparse.DecodeVectorPayloadInto. Both the coordinator and the wire fuzz
+// target route through this single normalization point.
+func (a AggArgs) contribution(dst []float64, maxParams int) ([]float64, error) {
 	if a.Abstain {
-		return nil
+		return nil, nil
 	}
-	if a.Values == nil {
-		return []float64{}
-	}
-	return a.Values
+	return sparse.DecodeVectorPayloadInto(dst, a.Payload, maxParams)
 }
 
 // AggReply returns the collective result.
 type AggReply struct {
-	// Values is the element-wise mean over contributors; Nil reports that
-	// no client contributed (again the wire truth, since gob cannot carry
-	// the nil-vs-empty distinction in Values).
-	Values []float64
-	Nil    bool
+	// Payload is the element-wise mean over contributors, encoded with the
+	// sparse vector codec; Nil reports that no client contributed (the wire
+	// truth, for the same gob nil-vs-empty reason as AggArgs.Abstain).
+	Payload []byte
+	Nil     bool
 }
 
-// contribution returns the collective result with the same gob wire
-// ambiguity resolved in the reply direction: Nil is the truth for "no
-// contributors", and a non-nil-but-empty result flattened in transit is
-// restored.
-func (r AggReply) contribution() []float64 {
+// contribution decodes the collective result with the same ambiguity
+// resolved in the reply direction: Nil is the truth for "no contributors",
+// and a non-nil-but-empty mean decodes back to empty but non-nil.
+func (r AggReply) contribution(maxParams int) ([]float64, error) {
 	if r.Nil {
-		return nil
+		return nil, nil
 	}
-	if r.Values == nil {
-		return []float64{}
-	}
-	return r.Values
+	return sparse.DecodeVectorPayloadInto(nil, r.Payload, maxParams)
 }
 
 // Config assembles a fault-tolerant coordinator.
@@ -150,6 +154,12 @@ type Config struct {
 	HeartbeatGrace time.Duration
 }
 
+// aggKey identifies one collective for the reply-encoding cache.
+type aggKey struct {
+	round int
+	kind  string
+}
+
 // Coordinator is the TCP-facing aggregation service.
 type Coordinator struct {
 	mu         sync.Mutex
@@ -159,6 +169,12 @@ type Coordinator struct {
 	nextID     int
 	allIDs     []int
 	begun      map[int]bool
+	// replyEnc caches each collective's encoded mean so N waiters ship the
+	// same bytes instead of paying N encodes. Entries are plain allocations
+	// (not pooled buffers): a reply to an evicted straggler can still be
+	// draining through net/rpc when the entry ages out two rounds later, so
+	// reclamation is left to the GC. Guarded by mu.
+	replyEnc map[aggKey][]byte
 
 	// hbMu guards lastSeen alone. It is never held while calling into srv,
 	// and srv's deadline expiry calls alive() while holding its own lock —
@@ -190,6 +206,7 @@ func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
 		numClients: cfg.NumClients,
 		modelSize:  cfg.ModelSize,
 		begun:      map[int]bool{},
+		replyEnc:   map[aggKey][]byte{},
 		lastSeen:   map[int]time.Time{},
 		counters:   trace.NewCounters(),
 		srv:        fl.NewServer(cfg.NumClients),
@@ -221,7 +238,8 @@ func (c *Coordinator) heard(clientID int) {
 }
 
 // Counters exposes the coordinator's operational counters (rejoins,
-// heartbeats received).
+// heartbeats received, and agg_rx_bytes / agg_tx_bytes — the encoded
+// payload bytes received from and served to clients).
 func (c *Coordinator) Counters() *trace.Counters { return c.counters }
 
 // Evicted returns the ids evicted so far, ascending.
@@ -288,15 +306,35 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 		c.srv.BeginRound(args.Round, ids)
 		c.begun[args.Round] = true
 		delete(c.begun, args.Round-2) // bounded bookkeeping
+		for k := range c.replyEnc {
+			if k.round <= args.Round-2 {
+				delete(c.replyEnc, k)
+			}
+		}
 	}
 	c.mu.Unlock()
 	c.heard(args.ClientID)
+	c.counters.Add("agg_rx_bytes", int64(len(args.Payload)))
 
-	values := args.contribution()
-	var (
-		res []float64
-		err error
-	)
+	// Decode the contribution into a pooled vector. The fl.Server stages
+	// submissions by reference and drops them when the barrier closes, and
+	// this handler blocks inside the collective until exactly then, so the
+	// buffer is recyclable once the dispatch below returns. modelSize bounds
+	// the claimed vector length against hostile payloads.
+	var vecBuf *[]float64
+	if !args.Abstain {
+		vecBuf = sparse.GetVec(c.modelSize)
+		defer sparse.PutVec(vecBuf)
+	}
+	var dst []float64
+	if vecBuf != nil {
+		dst = *vecBuf
+	}
+	values, err := args.contribution(dst, c.modelSize)
+	if err != nil {
+		return fmt.Errorf("flrpc: client %d round %d: %w", args.ClientID, args.Round, err)
+	}
+	var res []float64
 	// Route through the ctx-aware dispatchers (the ctxdispatch contract):
 	// net/rpc hands the handler no context, but the dispatch helpers keep
 	// this call on the same cancellation-capable path as every other
@@ -316,7 +354,26 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 		reply.Nil = true
 		return nil
 	}
-	reply.Values = res
+	// Every waiter of the collective receives the same mean; encode it once
+	// and serve the cached bytes. The double-checked pattern keeps the
+	// O(model) encode outside the coordinator lock — a racing duplicate
+	// encode is possible but bounded and byte-identical.
+	k := aggKey{round: args.Round, kind: args.Kind}
+	c.mu.Lock()
+	payload, ok := c.replyEnc[k]
+	c.mu.Unlock()
+	if !ok {
+		payload = sparse.EncodeVectorPayload(res)
+		c.mu.Lock()
+		if cached, dup := c.replyEnc[k]; dup {
+			payload = cached
+		} else {
+			c.replyEnc[k] = payload
+		}
+		c.mu.Unlock()
+	}
+	reply.Payload = payload
+	c.counters.Add("agg_tx_bytes", int64(len(payload)))
 	return nil
 }
 

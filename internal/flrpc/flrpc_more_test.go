@@ -4,6 +4,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"fedsu/internal/sparse"
 )
 
 func TestCoordinatorValidation(t *testing.T) {
@@ -33,9 +35,53 @@ func TestAggregateUnknownKind(t *testing.T) {
 		t.Fatal(err)
 	}
 	var reply AggReply
-	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "bogus", Values: []float64{1}}, &reply)
+	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "bogus", Payload: sparse.EncodeVectorPayload([]float64{1})}, &reply)
 	if err == nil || !strings.Contains(err.Error(), "unknown collective") {
 		t.Errorf("unknown kind error = %v", err)
+	}
+}
+
+func TestAggregateMalformedPayload(t *testing.T) {
+	c, err := NewCoordinator(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join JoinReply
+	if err := c.Join(JoinArgs{Name: "x"}, &join); err != nil {
+		t.Fatal(err)
+	}
+	var reply AggReply
+	// Garbage bytes must be rejected before they reach the barrier.
+	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "model", Payload: []byte{0xff, 1, 2, 3}}, &reply)
+	if err == nil {
+		t.Fatal("malformed payload must fail")
+	}
+	// A payload longer than the session's model size is an allocation bomb
+	// and must be bounded by ModelSize.
+	over := sparse.EncodeVectorPayload(make([]float64, 5))
+	err = c.Aggregate(AggArgs{ClientID: 0, Round: 0, Kind: "model", Payload: over}, &reply)
+	if err == nil {
+		t.Fatal("payload above ModelSize must fail")
+	}
+}
+
+func TestWireBytesCounters(t *testing.T) {
+	addr := startCoordinator(t, 2, 4)
+	a, _ := Dial(addr, "a")
+	defer a.Close()
+	b, _ := Dial(addr, "b")
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); a.AggregateModel(a.ClientID(), 0, []float64{1, 0, 2, 0}) }()
+	go func() { defer wg.Done(); b.AggregateModel(b.ClientID(), 0, []float64{3, 0, 4, 0}) }()
+	wg.Wait()
+	want := int64(sparse.VectorPayloadSize([]float64{1, 0, 2, 0}))
+	if got := a.Counters().Get("agg_tx_bytes"); got != want {
+		t.Errorf("client tx bytes = %d, want %d", got, want)
+	}
+	if got := a.Counters().Get("agg_rx_bytes"); got <= 0 {
+		t.Errorf("client rx bytes = %d, want > 0", got)
 	}
 }
 

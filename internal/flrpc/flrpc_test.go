@@ -98,9 +98,38 @@ func TestAbstainOverTCP(t *testing.T) {
 	}
 }
 
+// quantAggregator wraps an in-process aggregator with the wire codec's
+// float32 quantization, so a reference fleet sees exactly what a TCP fleet
+// sees: contributions quantize on submit (request payload), means quantize
+// on the way back (reply payload).
+type quantAggregator struct{ inner sparse.Aggregator }
+
+func quantizeVec(v []float64) []float64 {
+	if v == nil {
+		return nil
+	}
+	q := make([]float64, len(v))
+	for i, x := range v {
+		q[i] = sparse.QuantizeWire(x)
+	}
+	return q
+}
+
+func (a quantAggregator) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	res, err := a.inner.AggregateModel(clientID, round, quantizeVec(values))
+	return quantizeVec(res), err
+}
+
+func (a quantAggregator) AggregateError(clientID, round int, values []float64) ([]float64, error) {
+	res, err := a.inner.AggregateError(clientID, round, quantizeVec(values))
+	return quantizeVec(res), err
+}
+
 // TestDistributedMatchesInProcess runs the same FedSU training once through
 // the in-process engine and once through real TCP clients, and requires
-// bit-identical final models.
+// bit-identical final models. The reference side routes through
+// quantAggregator, the model of the wire's float32 quantization — the TCP
+// side must match it to the last bit.
 func TestDistributedMatchesInProcess(t *testing.T) {
 	const (
 		numClients = 3
@@ -158,7 +187,7 @@ func TestDistributedMatchesInProcess(t *testing.T) {
 	}
 
 	refVecs := runFleet(
-		func(int) sparse.Aggregator { return refServer },
+		func(int) sparse.Aggregator { return quantAggregator{inner: refServer} },
 		func(k int) { refServer.BeginRound(k, []int{0, 1, 2}) },
 	)
 

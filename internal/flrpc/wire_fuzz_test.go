@@ -6,14 +6,21 @@ import (
 	"encoding/gob"
 	"math"
 	"testing"
+
+	"fedsu/internal/sparse"
 )
 
-// FuzzAggWire is the regression fuzz for the nil-vs-abstain wire bug fixed
-// in the fault-tolerance PR: gob flattens a non-nil empty []float64 to nil
-// in transit, so Abstain (requests) and Nil (replies) are the wire truth
-// and contribution() must reconstruct the semantic payload exactly, in
-// both directions, for every value pattern including NaNs and
-// signed zeros.
+// FuzzAggWire fuzzes the binary collective wire. The rpc envelope is gob
+// but the vectors travel as sparse vector-codec payloads, so two
+// invariants are checked for every value pattern (NaNs, signed zeros,
+// subnormals included):
+//
+//  1. the nil-vs-abstain distinction survives — gob flattens a non-nil
+//     empty slice to nil in transit (the bug fixed in the fault-tolerance
+//     PR), so Abstain (requests) and Nil (replies) are the wire truth and
+//     a zero-length contribution must come back empty but non-nil;
+//  2. every value survives as its QuantizeWire image — zeros elide to +0,
+//     everything else rounds through float32, bit-for-bit reproducibly.
 func FuzzAggWire(f *testing.F) {
 	f.Add(0, 3, "model", []byte{}, true)  // abstention
 	f.Add(1, 0, "error", []byte{}, false) // empty-but-contributing: the original bug
@@ -24,21 +31,35 @@ func FuzzAggWire(f *testing.F) {
 		if !abstain {
 			values = bytesToFloats(raw)
 		}
-		args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Values: values, Abstain: values == nil}
+		args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Abstain: values == nil}
+		if values != nil {
+			args.Payload = sparse.EncodeVectorPayload(values)
+		}
 		var gotArgs AggArgs
 		gobRoundTrip(t, &args, &gotArgs)
-		checkContribution(t, "request", values, gotArgs.contribution())
+		got, err := gotArgs.contribution(nil, len(values))
+		if err != nil {
+			t.Fatalf("request decode: %v", err)
+		}
+		checkContribution(t, "request", values, got)
 
-		reply := AggReply{Values: values, Nil: values == nil}
+		reply := AggReply{Nil: values == nil}
+		if values != nil {
+			reply.Payload = sparse.EncodeVectorPayload(values)
+		}
 		var gotReply AggReply
 		gobRoundTrip(t, &reply, &gotReply)
-		checkContribution(t, "reply", values, gotReply.contribution())
+		got, err = gotReply.contribution(len(values))
+		if err != nil {
+			t.Fatalf("reply decode: %v", err)
+		}
+		checkContribution(t, "reply", values, got)
 	})
 }
 
-// checkContribution asserts the normalized wire payload is semantically
+// checkContribution asserts the decoded wire payload is semantically
 // identical to what was sent: nil stays nil, empty stays empty (non-nil),
-// and every float64 survives bit-for-bit.
+// and every value arrives as its QuantizeWire image, bit-for-bit.
 func checkContribution(t *testing.T, dir string, sent, got []float64) {
 	t.Helper()
 	if sent == nil {
@@ -54,8 +75,10 @@ func checkContribution(t *testing.T, dir string, sent, got []float64) {
 		t.Fatalf("%s: sent %d values, received %d", dir, len(sent), len(got))
 	}
 	for i := range sent {
-		if math.Float64bits(got[i]) != math.Float64bits(sent[i]) {
-			t.Fatalf("%s: value %d: sent %x, received %x", dir, i, math.Float64bits(sent[i]), math.Float64bits(got[i]))
+		want := sparse.QuantizeWire(sent[i])
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Fatalf("%s: value %d: sent %x, want %x on arrival, received %x",
+				dir, i, math.Float64bits(sent[i]), math.Float64bits(want), math.Float64bits(got[i]))
 		}
 	}
 }

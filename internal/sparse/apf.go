@@ -186,11 +186,12 @@ func (a *APF) SyncCtx(ctx context.Context, round int, local []float64, contribut
 	}
 	copy(a.prevGlobal, out)
 
-	nAct := len(active)
+	// Actual encoded bytes of the compacted active-parameter vectors; an
+	// abstaining client or an empty collective costs framing only.
 	return out, Traffic{
-		UpBytes:      nAct*BytesPerValue + HeaderBytes,
-		DownBytes:    nAct*BytesPerValue + HeaderBytes,
-		SyncedParams: nAct,
+		UpBytes:      MessageBytes(send),
+		DownBytes:    MessageBytes(agg),
+		SyncedParams: len(active),
 		TotalParams:  a.size,
 	}, nil
 }

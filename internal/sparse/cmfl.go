@@ -102,14 +102,18 @@ func (c *CMFL) SyncCtx(ctx context.Context, round int, local []float64, contribu
 	}
 	c.prevGlobal = out
 
+	// Actual encoded bytes: a withheld (or abstaining) upload costs the
+	// framing header only. The downlink always carries the full global model
+	// the client syncs to — CMFL saves uplink, never downlink — so it is
+	// charged as the dense encoding of out rather than global (the two
+	// coincide whenever anyone contributed; when the whole fleet withheld the
+	// server still redistributes the unchanged model).
 	tr := Traffic{
-		DownBytes:    c.size*BytesPerValue + HeaderBytes,
-		TotalParams:  c.size,
-		SyncedParams: 0,
-		UpBytes:      HeaderBytes,
+		DownBytes:   MessageBytes(out),
+		TotalParams: c.size,
+		UpBytes:     MessageBytes(send),
 	}
 	if relevant {
-		tr.UpBytes = c.size*BytesPerValue + HeaderBytes
 		tr.SyncedParams = c.size
 	}
 	return out, tr, nil

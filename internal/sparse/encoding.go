@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // This file implements the wire encodings for sparse parameter payloads.
@@ -18,6 +19,14 @@ import (
 // EncodeBitmapPayload encodes (mask, values) as a bitmap over all
 // parameters followed by the selected float32 values.
 func EncodeBitmapPayload(mask []bool, values []float64) []byte {
+	return AppendBitmapPayload(nil, mask, values)
+}
+
+// AppendBitmapPayload appends the bitmap encoding of (mask, values) to dst
+// and returns the extended slice. The payload region is grown once up
+// front, so encoding into a buffer with sufficient capacity performs no
+// allocation; combine with GetWireBuf/PutWireBuf for a pooled wire path.
+func AppendBitmapPayload(dst []byte, mask []bool, values []float64) []byte {
 	nSel := 0
 	for _, m := range mask {
 		if m {
@@ -27,23 +36,35 @@ func EncodeBitmapPayload(mask []bool, values []float64) []byte {
 	if nSel != len(values) {
 		panic(fmt.Sprintf("sparse: %d mask bits set but %d values", nSel, len(values)))
 	}
-	out := make([]byte, 0, 8+(len(mask)+7)/8+4*len(values))
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(mask)))
-	out = append(out, hdr[:]...)
-	bits := make([]byte, (len(mask)+7)/8)
+	base := len(dst)
+	dst = growBytes(dst, BitmapPayloadBytes(len(mask), nSel))
+	out := dst[base:]
+	binary.LittleEndian.PutUint64(out[:8], uint64(len(mask)))
+	bits := out[8 : 8+(len(mask)+7)/8]
+	clear(bits)
 	for i, m := range mask {
 		if m {
 			bits[i/8] |= 1 << (i % 8)
 		}
 	}
-	out = append(out, bits...)
-	var buf [4]byte
-	for _, v := range values {
-		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
-		out = append(out, buf[:]...)
+	vals := out[8+len(bits):]
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(vals[4*i:], math.Float32bits(float32(v)))
 	}
-	return out
+	return dst
+}
+
+// growBytes extends dst by n bytes in a single step (one allocation at
+// most), returning the lengthened slice; the new bytes are unspecified and
+// must be fully overwritten by the caller.
+func growBytes(dst []byte, n int) []byte {
+	total := len(dst) + n
+	if cap(dst) >= total {
+		return dst[:total]
+	}
+	grown := make([]byte, total)
+	copy(grown, dst)
+	return grown
 }
 
 // DecodeBitmapPayload reverses EncodeBitmapPayload, returning the mask and
@@ -87,29 +108,46 @@ func DecodeBitmapPayload(b []byte) (mask []bool, values []float64, err error) {
 // EncodeIndexPayload encodes (indices, values) as delta-varint indices
 // followed by float32 values. indices must be strictly increasing.
 func EncodeIndexPayload(indices []int, values []float64) []byte {
+	return AppendIndexPayload(nil, indices, values)
+}
+
+// AppendIndexPayload appends the delta-varint index encoding of
+// (indices, values) to dst and returns the extended slice. The exact
+// payload size is computed first so the buffer grows in one step; indices
+// must be strictly increasing.
+func AppendIndexPayload(dst []byte, indices []int, values []float64) []byte {
 	if len(indices) != len(values) {
 		panic(fmt.Sprintf("sparse: %d indices but %d values", len(indices), len(values)))
 	}
-	out := make([]byte, 0, 8+5*len(indices)+4*len(values))
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(indices)))
-	out = append(out, hdr[:]...)
+	varBytes := 0
 	prev := 0
-	var tmp [binary.MaxVarintLen64]byte
 	for i, idx := range indices {
 		if i > 0 && idx <= prev {
 			panic("sparse: indices must be strictly increasing")
 		}
-		n := binary.PutUvarint(tmp[:], uint64(idx-prev))
-		out = append(out, tmp[:n]...)
+		varBytes += uvarintLen(uint64(idx - prev))
 		prev = idx
 	}
-	var buf [4]byte
-	for _, v := range values {
-		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
-		out = append(out, buf[:]...)
+	base := len(dst)
+	dst = growBytes(dst, 8+varBytes+4*len(values))
+	out := dst[base:]
+	binary.LittleEndian.PutUint64(out[:8], uint64(len(indices)))
+	pos := 8
+	prev = 0
+	for _, idx := range indices {
+		pos += binary.PutUvarint(out[pos:], uint64(idx-prev))
+		prev = idx
 	}
-	return out
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[pos+4*i:], math.Float32bits(float32(v)))
+	}
+	return dst
+}
+
+// uvarintLen is the encoded size of x under binary.PutUvarint: one byte
+// per started 7-bit group.
+func uvarintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
 }
 
 // DecodeIndexPayload reverses EncodeIndexPayload.

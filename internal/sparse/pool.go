@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pooled wire and vector buffers, the tensor-arena pattern applied to the
+// communication path: power-of-two size classes, pointer-to-slice pooling
+// (a bare []byte in a sync.Pool re-boxes the slice header on every Put),
+// fragmentation bounded at 2×. A steady-state Get/Put pair performs no
+// allocation, which is what lets a whole flrpc collective round run
+// without touching the GC.
+//
+// Contract (mirrors tensor.GetScratch/PutScratch, and checked by the same
+// fedsu-lint scratchpair analyzer): Get returns storage with UNSPECIFIED
+// contents beyond the documented length; Put transfers ownership back to
+// the pool, after which neither the pointer nor any slice aliasing its
+// storage may be touched. Both pools are safe for concurrent use.
+
+// poolClasses covers 2^0 .. 2^(poolClasses-1) bytes or elements; the top
+// class is 2^26 (64 MiB of bytes, 512 MiB of float64s) — larger requests
+// bypass the pool and fall to the GC.
+const poolClasses = 27
+
+var (
+	wireBufPool [poolClasses]sync.Pool
+	vecPool     [poolClasses]sync.Pool
+)
+
+func poolClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1)) // ceil(log2 n)
+}
+
+// GetWireBuf returns a byte buffer with zero length and capacity at least
+// n, ready for the Append* encoders. Release with PutWireBuf.
+func GetWireBuf(n int) *[]byte {
+	c := poolClass(n)
+	if c >= poolClasses {
+		b := make([]byte, 0, n)
+		return &b
+	}
+	p, ok := wireBufPool[c].Get().(*[]byte)
+	if !ok {
+		b := make([]byte, 0, 1<<uint(c))
+		return &b
+	}
+	*p = (*p)[:0]
+	return p
+}
+
+// PutWireBuf returns a buffer to the pool. Passing nil is a no-op. The
+// buffer (and any slice of it) must not be used afterwards.
+func PutWireBuf(p *[]byte) {
+	if p == nil {
+		return
+	}
+	c := cap(*p)
+	if c == 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1 // floor(log2 cap): satisfies Get(n ≤ 2^cls)
+	if cls >= poolClasses {
+		return
+	}
+	*p = (*p)[:0]
+	wireBufPool[cls].Put(p)
+}
+
+// GetVec returns a float64 slice of length n with UNSPECIFIED contents;
+// callers must fully overwrite it (DecodeVectorPayloadInto does). Release
+// with PutVec.
+func GetVec(n int) *[]float64 {
+	c := poolClass(n)
+	if c >= poolClasses {
+		v := make([]float64, n)
+		return &v
+	}
+	p, ok := vecPool[c].Get().(*[]float64)
+	if !ok {
+		v := make([]float64, 1<<uint(c))
+		p = &v
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// PutVec returns a vector to the pool. Passing nil is a no-op. The vector
+// (and any slice of it) must not be used afterwards.
+func PutVec(p *[]float64) {
+	if p == nil {
+		return
+	}
+	c := cap(*p)
+	if c == 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls >= poolClasses {
+		return
+	}
+	*p = (*p)[:c]
+	vecPool[cls].Put(p)
+}

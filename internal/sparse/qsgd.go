@@ -113,7 +113,15 @@ func (q *QSGD) SyncCtx(ctx context.Context, round int, local []float64, contribu
 			copy(out, local)
 		}
 		q.prevGlobal = append([]float64(nil), out...)
-		return out, fullExchangeTraffic(q.size), nil
+		// The bootstrap is a plain full-precision exchange, so it is charged
+		// at the vector codec's actual encoded size; the quantized rounds
+		// below keep QSGD's own bits-per-value payload model.
+		return out, Traffic{
+			UpBytes:      MessageBytes(send),
+			DownBytes:    MessageBytes(agg),
+			SyncedParams: q.size,
+			TotalParams:  q.size,
+		}, nil
 	}
 
 	update := make([]float64, q.size)

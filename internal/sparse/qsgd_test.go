@@ -88,8 +88,13 @@ func TestQuantizeBounded(t *testing.T) {
 
 func TestQSGDSyncCompresses(t *testing.T) {
 	q := newTestQSGD(t, 100, 4)
-	// Bootstrap round: full precision.
-	_, tr, err := q.Sync(0, make([]float64, 100), true)
+	// Bootstrap round: full precision. Nonzero values, so the exchange is
+	// genuinely dense (an all-zero vector would compress on the wire).
+	boot := make([]float64, 100)
+	for i := range boot {
+		boot[i] = 1 + float64(i)
+	}
+	_, tr, err := q.Sync(0, boot, true)
 	if err != nil {
 		t.Fatal(err)
 	}

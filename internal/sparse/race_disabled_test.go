@@ -1,0 +1,7 @@
+//go:build !race
+
+package sparse
+
+// raceEnabled gates allocation assertions that cannot hold under the race
+// detector; see race_enabled_test.go.
+const raceEnabled = false

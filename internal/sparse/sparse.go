@@ -43,12 +43,13 @@ func (t *Traffic) Add(o Traffic) {
 
 // SparsificationRatio is the fraction of a full-model exchange saved this
 // round, computed from actual bytes so FedSU's error-feedback traffic is
-// charged against its savings: 1 − bytes/(full-model bytes).
+// charged against its savings: 1 − bytes/(full-model bytes). The reference
+// cost is the dense wire encoding of the full model in each direction.
 func (t Traffic) SparsificationRatio() float64 {
 	if t.TotalParams == 0 {
 		return 0
 	}
-	full := 2 * (t.TotalParams*BytesPerValue + HeaderBytes)
+	full := 2 * DenseMessageBytes(t.TotalParams)
 	used := t.UpBytes + t.DownBytes
 	r := 1 - float64(used)/float64(full)
 	if r < 0 {
@@ -134,16 +135,6 @@ func SyncContext(ctx context.Context, s Syncer, round int, local []float64, cont
 // and the shared aggregator.
 type Factory func(clientID int, size int, agg Aggregator) Syncer
 
-// fullExchangeTraffic is the traffic of a plain full-model round trip.
-func fullExchangeTraffic(size int) Traffic {
-	return Traffic{
-		UpBytes:      size*BytesPerValue + HeaderBytes,
-		DownBytes:    size*BytesPerValue + HeaderBytes,
-		SyncedParams: size,
-		TotalParams:  size,
-	}
-}
-
 // FedAvg synchronizes the full model every round — the paper's baseline.
 type FedAvg struct {
 	id   int
@@ -190,5 +181,14 @@ func (f *FedAvg) SyncCtx(ctx context.Context, round int, local []float64, contri
 	} else {
 		copy(out, global)
 	}
-	return out, fullExchangeTraffic(f.size), nil
+	// Charge what the wire codec actually ships: an abstaining client's
+	// uplink is framing only, and a round with no contributors has a
+	// header-only downlink.
+	tr := Traffic{
+		UpBytes:      MessageBytes(send),
+		DownBytes:    MessageBytes(global),
+		SyncedParams: f.size,
+		TotalParams:  f.size,
+	}
+	return out, tr, nil
 }

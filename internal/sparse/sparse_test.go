@@ -34,8 +34,8 @@ func TestTrafficAdd(t *testing.T) {
 
 func TestSparsificationRatio(t *testing.T) {
 	full := Traffic{
-		UpBytes:      100*BytesPerValue + HeaderBytes,
-		DownBytes:    100*BytesPerValue + HeaderBytes,
+		UpBytes:      DenseMessageBytes(100),
+		DownBytes:    DenseMessageBytes(100),
 		SyncedParams: 100, TotalParams: 100,
 	}
 	if r := full.SparsificationRatio(); r != 0 {
