@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet lint race fuzz verify bench bench-agg
+.PHONY: tier1 vet lint race fuzz verify bench bench-agg bench-grid
 
 tier1:
 	$(GO) build ./...
@@ -47,3 +47,16 @@ bench:
 bench-agg:
 	$(GO) test ./internal/fl/ -run xxx -bench '^BenchmarkAggregate' -benchmem -count 3
 	$(GO) test ./internal/sparse/ -run xxx -bench '^BenchmarkVectorPayload$$' -benchmem
+
+# End-to-end harness benchmark: the Table I grid, sequential-uncached vs
+# parallel-cached (the grid scheduler of internal/exp), medians over
+# GRIDREPS reps per arm. Writes the measurement document to
+# BENCH_grid.json (the tracked copy records the reference host). Tune with
+# e.g. GRIDFLAGS='-rounds 12' for a shorter advisory run.
+GRIDREPS ?= 3
+GRIDSLOTS ?= 4
+GRIDFLAGS ?=
+bench-grid:
+	$(GO) run ./cmd/fedsu-bench -exp table1 -scale fast -parallel $(GRIDSLOTS) \
+		-gridbench $(GRIDREPS) $(GRIDFLAGS) > BENCH_grid.json
+	@cat BENCH_grid.json

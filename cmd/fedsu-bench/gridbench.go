@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"fedsu/internal/exp"
+)
+
+// runGridBench measures the end-to-end harness speedup the grid scheduler
+// delivers on the Table I grid. The sequential arm repeats the
+// pre-scheduler path — a direct RunOne loop, so every run synthesizes its
+// own dataset and partition. The parallel arm runs the same grid through
+// RunEndToEnd with cfg.Parallel slots and a fresh artifact cache per rep
+// (no warm-cache advantage across reps). Per-arm wall-clock medians, peak
+// RSS, and the cache's synthesis accounting are emitted on stdout as the
+// BENCH_grid.json document; progress lines go to stderr.
+func runGridBench(ctx context.Context, cfg exp.Config, reps int, scale string) error {
+	ws := exp.Workloads()
+	schemes := exp.Schemes()
+	// Silence per-run logging in both arms: measuring, not reporting.
+	cfg.Verbose = nil
+	cfg.Clock = nil
+	runsPerRep := len(ws) * len(schemes)
+
+	fmt.Fprintf(os.Stderr, "gridbench: table1 grid, %d runs/rep, %d reps/arm, %d parallel slots\n",
+		runsPerRep, reps, cfg.Parallel)
+
+	resetPeakRSS()
+	seqWalls := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		for _, w := range ws {
+			for _, s := range schemes {
+				if _, err := exp.RunOne(ctx, cfg, w, s); err != nil {
+					return fmt.Errorf("gridbench sequential: %w", err)
+				}
+			}
+		}
+		wall := time.Since(start).Seconds()
+		seqWalls = append(seqWalls, wall)
+		fmt.Fprintf(os.Stderr, "gridbench: sequential rep %d/%d: %.1fs\n", r+1, reps, wall)
+	}
+	seqRSS, _ := peakRSS()
+
+	resetPeakRSS()
+	parWalls := make([]float64, 0, reps)
+	var dsBuilds, partBuilds int64
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Artifacts = exp.NewArtifacts()
+		start := time.Now()
+		if _, err := exp.RunEndToEnd(ctx, c, ws, schemes); err != nil {
+			return fmt.Errorf("gridbench parallel: %w", err)
+		}
+		wall := time.Since(start).Seconds()
+		parWalls = append(parWalls, wall)
+		dsBuilds = c.Artifacts.DatasetBuilds()
+		partBuilds = c.Artifacts.PartitionBuilds()
+		fmt.Fprintf(os.Stderr, "gridbench: parallel rep %d/%d: %.1fs (%d dataset builds)\n",
+			r+1, reps, wall, dsBuilds)
+	}
+	parRSS, _ := peakRSS()
+
+	seqMed, parMed := median(seqWalls), median(parWalls)
+	doc := map[string]any{
+		"host": map[string]any{
+			"cpu":    cpuModel(),
+			"cores":  runtime.NumCPU(),
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+		},
+		"method": fmt.Sprintf(
+			"fedsu-bench -scale %s -parallel %d -gridbench %d: the Table I grid (%d workloads x %d schemes), median of %d reps per arm; sequential arm is the pre-scheduler path (direct RunOne loop, per-run dataset synthesis), parallel arm is RunEndToEnd on the grid scheduler with a fresh shared-artifact cache per rep",
+			scale, cfg.Parallel, reps, len(ws), len(schemes), reps),
+		"grid": map[string]any{
+			"experiment":     "table1",
+			"scale":          scale,
+			"runs_per_rep":   runsPerRep,
+			"parallel_slots": cfg.Parallel,
+			"rounds":         cfg.Rounds,
+			"clients":        cfg.Clients,
+		},
+		"wall_seconds": map[string]any{
+			"sequential_median": round2(seqMed),
+			"parallel_median":   round2(parMed),
+			"speedup":           round2(seqMed / parMed),
+			"sequential_reps":   round2s(seqWalls),
+			"parallel_reps":     round2s(parWalls),
+		},
+		"dataset_synthesis_per_rep": map[string]any{
+			"sequential": runsPerRep,
+			"parallel":   dsBuilds,
+			"note":       "sequential synthesizes one corpus per run; the cache builds each distinct (workload data, samples, seed) corpus exactly once per rep",
+		},
+		"partition_builds_per_rep": map[string]any{
+			"sequential": runsPerRep,
+			"parallel":   partBuilds,
+		},
+		"peak_rss_mib": map[string]any{
+			"sequential": round2(seqRSS / (1 << 20)),
+			"parallel":   round2(parRSS / (1 << 20)),
+		},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gridbench: sequential median %.1fs, parallel median %.1fs, speedup %.2fx\n",
+		seqMed, parMed, seqMed/parMed)
+	_, err = fmt.Printf("%s\n", out)
+	return err
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+func round2s(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = round2(x)
+	}
+	return out
+}
+
+// cpuModel best-effort reads the CPU model string (Linux /proc/cpuinfo).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}
+
+// peakRSS reads the process peak resident set (Linux VmHWM) in bytes.
+// The second return is false where /proc is unavailable.
+func peakRSS() (float64, bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			var kb float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "kB")), "%f", &kb); err != nil {
+				return 0, false
+			}
+			return kb * 1024, true
+		}
+	}
+	return 0, false
+}
+
+// resetPeakRSS best-effort rearms the peak-RSS watermark (writing "5" to
+// /proc/self/clear_refs resets VmHWM) so per-phase peaks are attributable.
+// A failure just leaves the watermark monotone — reporting stays valid as
+// an upper bound.
+func resetPeakRSS() {
+	_ = os.WriteFile("/proc/self/clear_refs", []byte("5"), 0)
+}

@@ -9,6 +9,12 @@
 //	fedsu-bench -exp fig9 -rounds 120
 //
 // Experiments: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 all.
+//
+// Grid experiments (table1/fig5, fig8, fig9/fig10) fan their independent
+// runs across -parallel slots sharing one dataset/partition cache; results
+// are bit-identical to -seq at any slot count (internal/exp's scheduler
+// contract). -gridbench N times the table1 grid sequentially-uncached vs
+// parallel-cached and emits the BENCH_grid.json document on stdout.
 package main
 
 import (
@@ -39,6 +45,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		modelScale = flag.Int("modelscale", 0, "override model width divisor (1 = paper scale)")
 		light      = flag.Bool("light", false, "restrict the ablation and sensitivity sweeps to the CNN workload")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runs in flight at once in the grid experiments")
+		seq        = flag.Bool("seq", false, "force sequential grid execution (same as -parallel 1)")
+		gridBench  = flag.Int("gridbench", 0, "run the table1 grid n times sequential-uncached and n times parallel-cached, report medians, and write the BENCH_grid.json document to stdout")
 	)
 	flag.Parse()
 
@@ -57,6 +66,24 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Verbose = os.Stderr
+	cfg.Parallel = *parallel
+	if *seq {
+		cfg.Parallel = 1
+	}
+	// One cache for the whole invocation: -exp all shares corpora and
+	// partitions across table1, fig8, and the sensitivity sweeps.
+	cfg.Artifacts = exp.NewArtifacts()
+	// Wall-clock enters run logic only through this injected clock (the
+	// scheduler stamps per-run wall time with it); results stay a pure
+	// function of Config and seed.
+	cfg.Clock = time.Now
+
+	if *gridBench > 0 {
+		if err := runGridBench(context.Background(), cfg, *gridBench, *scale); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -72,16 +99,21 @@ func main() {
 	for _, id := range ids {
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
+		resetPeakRSS()
 		start := time.Now()
 		if err := runExperiment(ctx, cfg, id, *outDir, *light); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
-		fmt.Printf("--- %s: wall %s, allocated %.1f MiB in %d objects\n",
+		line := fmt.Sprintf("--- %s: wall %s, allocated %.1f MiB in %d objects",
 			id, time.Since(start).Round(time.Millisecond),
 			float64(after.TotalAlloc-before.TotalAlloc)/(1<<20),
 			after.Mallocs-before.Mallocs)
+		if rss, ok := peakRSS(); ok {
+			line += fmt.Sprintf(", peak RSS %.1f MiB", rss/(1<<20))
+		}
+		fmt.Println(line)
 	}
 }
 

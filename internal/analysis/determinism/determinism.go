@@ -1,9 +1,15 @@
 // Package determinism guards the bit-reproducibility contract of the
-// numeric kernel packages (internal/tensor, internal/nn, internal/sparse):
-// the same inputs must produce bit-identical outputs regardless of
-// GOMAXPROCS, wall-clock, or scheduling — the property
-// tensor/determinism_test.go asserts for serial-vs-parallel kernels, and
-// the property that makes federated experiments replayable from a seed.
+// numeric kernel packages (internal/tensor, internal/nn, internal/sparse)
+// and of the experiment harness (internal/exp): the same inputs must
+// produce bit-identical outputs regardless of GOMAXPROCS, wall-clock, or
+// scheduling — the property tensor/determinism_test.go asserts for
+// serial-vs-parallel kernels, exp/sched_test.go asserts for the parallel
+// experiment grid, and the property that makes federated experiments
+// replayable from a seed. In internal/exp, wall-clock belongs in the
+// injected Config.Clock (wired by cmd/fedsu-bench) — direct time.Now in a
+// result computation would make runs unreproducible; the deliberate
+// exception is Table II's self-timing overhead measurement, suppressed
+// in place.
 //
 // Two classes of nondeterminism are flagged:
 //
@@ -34,9 +40,11 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flag nondeterministic inputs and map-order-dependent accumulation in kernel packages\n\n" +
-		"internal/tensor, internal/nn, and internal/sparse must stay " +
-		"bit-deterministic: no wall-clock, no global rand, no GOMAXPROCS " +
-		"dependence, and no numeric reduction in map iteration order.",
+		"internal/tensor, internal/nn, internal/sparse, and internal/exp " +
+		"must stay bit-deterministic: no wall-clock, no global rand, no " +
+		"GOMAXPROCS dependence, and no numeric reduction in map iteration " +
+		"order. Experiment wall-clock reporting goes through the injected " +
+		"Config.Clock.",
 	Run: run,
 }
 
@@ -45,6 +53,7 @@ var scope = map[string]bool{
 	"fedsu/internal/tensor": true,
 	"fedsu/internal/nn":     true,
 	"fedsu/internal/sparse": true,
+	"fedsu/internal/exp":    true,
 }
 
 // banned maps package path -> function name -> true for environmental

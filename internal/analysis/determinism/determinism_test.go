@@ -9,5 +9,5 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer,
-		"fedsu/internal/tensor", "fedsu/internal/fl")
+		"fedsu/internal/tensor", "fedsu/internal/fl", "fedsu/internal/exp")
 }

@@ -31,6 +31,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fedsu/internal/par"
 	"fedsu/internal/sparse"
 )
 
@@ -193,6 +194,7 @@ type Manager struct {
 	scratchSend     []float64
 	scratchErrSend  []float64
 	scratchOut      []float64
+	scratchDraw     []float64 // pre-drawn v2 lottery values for diagnose
 
 	// Cumulative speculative-round counters for the Fig. 7 linearity CDF.
 	specTotal []int64
@@ -235,6 +237,7 @@ func NewManager(clientID, size int, agg sparse.Aggregator, opts Options) (*Manag
 		scratchSend:     make([]float64, size),
 		scratchErrSend:  make([]float64, size),
 		scratchOut:      make([]float64, size),
+		scratchDraw:     make([]float64, size),
 	}
 	for i := range m.mode {
 		m.mode[i] = modeRegular
@@ -509,11 +512,49 @@ func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, con
 	}, nil
 }
 
+// diagnoseGrain is the minimum number of regular parameters per parallel
+// chunk in diagnose. Every EMA/promotion update touches only its own
+// parameter's slots, so the chunk decomposition cannot change the
+// arithmetic; the grain exists purely so models below a few thousand
+// parameters run inline (keeping small-model Sync allocation-free) while
+// paper-scale vectors fan the O(d) scan across the worker pool.
+const diagnoseGrain = 2048
+
 // diagnose refreshes the second-order oscillation statistics of the given
 // regular parameters against the new global vector and promotes parameters
-// whose ratio drops below T_ℛ (or, under v2, by lottery).
+// whose ratio drops below T_ℛ (or, under v2, by lottery). The per-parameter
+// scan runs on the par pool; output is bit-identical to serial execution at
+// every worker count because each iteration reads and writes only slots of
+// its own parameter (see TestDiagnoseParallelDeterminism).
 func (m *Manager) diagnose(global []float64, regular []int) {
-	for _, i := range regular {
+	// The v2 launch lottery consumes the shared rng; pre-draw serially — one
+	// Float64 per regular parameter, in index order, exactly the sequence
+	// the serial loop consumed — so the parallel scan stays deterministic.
+	var draws []float64
+	if m.opts.Variant == VariantV2 {
+		draws = m.scratchDraw[:len(regular)]
+		for j := range draws {
+			draws[j] = m.rng.Float64()
+		}
+	}
+	// Dispatch directly when the scan cannot fan out: ParallelizeGrain would
+	// run the same single chunk inline, but building its closure costs one
+	// heap allocation per round, and small-model Sync pins zero. A fanned
+	// scan (paper-scale vectors on a multi-worker pool) accepts the
+	// transient closure + waitgroup allocations, like the tensor kernels.
+	if len(regular) <= diagnoseGrain || par.Workers() == 1 {
+		m.diagnoseRange(global, regular, draws, 0, len(regular))
+		return
+	}
+	par.ParallelizeGrain(len(regular), diagnoseGrain, func(lo, hi int) {
+		m.diagnoseRange(global, regular, draws, lo, hi)
+	})
+}
+
+// diagnoseRange processes regular[lo:hi]; it is the body diagnose fans out.
+func (m *Manager) diagnoseRange(global []float64, regular []int, draws []float64, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		i := regular[j]
 		g := global[i] - m.prevGlobal[i]
 		if m.hasLastG[i] {
 			g2 := g - m.lastG[i]
@@ -547,7 +588,7 @@ func (m *Manager) diagnose(global []float64, regular []int) {
 		promote := false
 		switch m.opts.Variant {
 		case VariantV2:
-			promote = m.rng.Float64() < m.opts.LaunchProb
+			promote = draws[j] < m.opts.LaunchProb
 		default:
 			promote = int(m.history[i]) >= m.opts.MinHistory &&
 				m.emaSeen[i] &&

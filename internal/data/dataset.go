@@ -21,6 +21,13 @@ import (
 )
 
 // Dataset is an in-memory labelled image dataset in NCHW layout.
+//
+// Immutability: a Dataset is fully materialized by Synthesize and never
+// mutated afterwards — every method only reads (Batch copies pixels out into
+// a fresh tensor). One *Dataset may therefore be shared freely across
+// goroutines and across concurrently-running training engines; the
+// experiment harness's artifact cache (internal/exp) relies on this to build
+// each (dataset, samples, seed) corpus exactly once per process.
 type Dataset struct {
 	// Name identifies the dataset ("emnist", "fmnist", "cifar10", ...).
 	Name string
@@ -56,6 +63,12 @@ func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
 
 // Subset is a view over a subset of a dataset's samples, used as one
 // client's local shard.
+//
+// Like Dataset, a Subset is immutable after construction: NewSubset copies
+// the index slice and no method writes to it or to the parent. Sharing one
+// Subset (or one partition of Subsets) across engines is safe; per-call
+// randomness is injected via SampleBatch's rng parameter, so the Subset
+// itself holds no mutable sampling state.
 type Subset struct {
 	parent  *Dataset
 	indices []int

@@ -41,6 +41,7 @@ func RunFig8(ctx context.Context, cfg Config, workloads []Workload) (*Fig8Result
 		MeanRatio:     map[string]map[string]float64{},
 		AccuracyStd:   map[string]map[string]float64{},
 	}
+	var grid []GridRun
 	for _, w := range workloads {
 		res.Accuracy[w.Name] = map[string]*trace.Series{}
 		res.Ratio[w.Name] = map[string]*trace.Series{}
@@ -48,31 +49,35 @@ func RunFig8(ctx context.Context, cfg Config, workloads []Workload) (*Fig8Result
 		res.MeanRatio[w.Name] = map[string]float64{}
 		res.AccuracyStd[w.Name] = map[string]float64{}
 		for _, v := range Variants() {
-			run, err := RunOne(ctx, cfg, w, v)
-			if err != nil {
-				return nil, err
-			}
-			acc := trace.NewSeries(v, "time_s", "accuracy")
-			ratio := trace.NewSeries(v, "time_s", "sparsification_ratio")
-			var prevAcc float64
-			var diffs []float64
-			first := true
-			for _, st := range run.Stats {
-				if st.Accuracy >= 0 {
-					acc.Add(st.SimTime, st.Accuracy)
-					if !first {
-						diffs = append(diffs, st.Accuracy-prevAcc)
-					}
-					prevAcc, first = st.Accuracy, false
-				}
-				ratio.Add(st.SimTime, st.SparsificationRatio)
-			}
-			res.Accuracy[w.Name][v] = acc
-			res.Ratio[w.Name][v] = ratio
-			res.FinalAccuracy[w.Name][v] = acc.LastY()
-			res.MeanRatio[w.Name][v] = run.MeanSparsification()
-			res.AccuracyStd[w.Name][v] = stddev(diffs)
+			grid = append(grid, GridRun{Cfg: cfg, Workload: w, Scheme: v})
 		}
+	}
+	runs, err := NewScheduler(cfg).Run(ctx, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range grid {
+		run, w, v := runs[i], g.Workload, g.Scheme
+		acc := trace.NewSeries(v, "time_s", "accuracy")
+		ratio := trace.NewSeries(v, "time_s", "sparsification_ratio")
+		var prevAcc float64
+		var diffs []float64
+		first := true
+		for _, st := range run.Stats {
+			if st.Accuracy >= 0 {
+				acc.Add(st.SimTime, st.Accuracy)
+				if !first {
+					diffs = append(diffs, st.Accuracy-prevAcc)
+				}
+				prevAcc, first = st.Accuracy, false
+			}
+			ratio.Add(st.SimTime, st.SparsificationRatio)
+		}
+		res.Accuracy[w.Name][v] = acc
+		res.Ratio[w.Name][v] = ratio
+		res.FinalAccuracy[w.Name][v] = acc.LastY()
+		res.MeanRatio[w.Name][v] = run.MeanSparsification()
+		res.AccuracyStd[w.Name][v] = stddev(diffs)
 	}
 	return res, nil
 }

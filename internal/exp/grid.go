@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fedsu/internal/trace"
+)
+
+// GridRun is one independent cell of an experiment grid: a full run
+// configuration plus the (workload, scheme) it trains. Cells carry their
+// own Config so sweeps can vary hyper-parameters per cell.
+type GridRun struct {
+	Cfg      Config
+	Workload Workload
+	Scheme   string
+	// Label tags the cell's progress lines; empty derives
+	// "workload/scheme".
+	Label string
+}
+
+func (g GridRun) label() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return g.Workload.Name + "/" + g.Scheme
+}
+
+// Scheduler fans the independent runs of an experiment grid across a
+// bounded set of run slots while sharing read-only artifacts (datasets,
+// Dirichlet partitions) through one Artifacts cache.
+//
+// Determinism: every cell is seeded by its own Config and runs on its own
+// engine; cells interact only through the artifact cache, whose hits are
+// bit-identical to fresh builds. Results therefore do not depend on the
+// slot count or on completion order, and Run returns them in input order —
+// the parallel grid reproduces the sequential path byte-for-byte (enforced
+// by TestGridBitIdentity).
+//
+// Compute: slots bound how many engines are in flight (peak memory); the
+// actual CPU fan-out is bounded separately by internal/par's process-wide
+// compute-token budget, which caps concurrent client training at
+// par.Workers() across ALL slots, so run-level × client-level ×
+// kernel-level nesting never oversubscribes the machine.
+type Scheduler struct {
+	workers int
+	arts    *Artifacts
+	verbose *trace.SyncWriter
+	clock   func() time.Time
+
+	// order optionally permutes the slot-submission order (test seam for
+	// proving start-order independence); results stay input-indexed.
+	order []int
+}
+
+// NewScheduler builds a scheduler from the harness knobs of cfg: Parallel
+// run slots (min 1), the shared Artifacts cache (a private cache when nil),
+// the Verbose sink (wrapped so concurrent runs emit whole, per-run-prefixed
+// lines), and the optional Clock for per-run wall-time reporting.
+func NewScheduler(cfg Config) *Scheduler {
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	arts := cfg.Artifacts
+	if arts == nil {
+		arts = NewArtifacts()
+	}
+	return &Scheduler{
+		workers: workers,
+		arts:    arts,
+		verbose: trace.NewSyncWriter(cfg.Verbose),
+		clock:   cfg.Clock,
+	}
+}
+
+// Artifacts exposes the scheduler's cache (for build accounting).
+func (s *Scheduler) Artifacts() *Artifacts { return s.arts }
+
+// Run executes every grid cell and returns the results in input order.
+// At most `workers` cells run at once; with one slot, execution is strictly
+// sequential in input order. The first failure cancels the remaining cells
+// and is returned (preferring a concrete run error over the cancellations
+// it caused).
+func (s *Scheduler) Run(ctx context.Context, runs []GridRun) ([]*Run, error) {
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	order := s.order
+	if order == nil {
+		order = make([]int, len(runs))
+		for i := range order {
+			order[i] = i
+		}
+	} else if len(order) != len(runs) {
+		return nil, fmt.Errorf("exp: scheduler order has %d entries for %d runs", len(order), len(runs))
+	}
+
+	out := make([]*Run, len(runs))
+	errs := make([]error, len(runs))
+	slots := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for _, idx := range order {
+		idx := idx
+		// Acquire the slot before spawning: submission stays in `order`,
+		// and a single-slot scheduler degenerates to exactly the
+		// sequential loop it replaced.
+		slots <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			out[idx], errs[idx] = s.runCell(ctx, runs[idx])
+			if errs[idx] != nil {
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			// A concrete failure beats the cancellations it triggered in
+			// sibling cells.
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runCell executes one grid cell with per-run verbose prefixing and
+// optional wall-clock reporting.
+func (s *Scheduler) runCell(ctx context.Context, gr GridRun) (*Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg := gr.Cfg
+	var pw *trace.PrefixWriter
+	if cfg.Verbose != nil {
+		pw = trace.NewPrefixWriter(s.verbose, "["+gr.label()+"] ")
+		cfg.Verbose = pw
+		defer pw.Flush()
+	}
+	var start time.Time
+	if s.clock != nil {
+		start = s.clock()
+	}
+	r, err := runOne(ctx, cfg, gr.Workload, gr.Scheme, s.arts)
+	if s.clock != nil {
+		wall := s.clock().Sub(start).Round(time.Millisecond)
+		if err != nil {
+			logf(cfg.Verbose, "failed after %s: %v", wall, err)
+		} else {
+			logf(cfg.Verbose, "done: wall %s", wall)
+		}
+	}
+	return r, err
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"fedsu/internal/core"
 	"fedsu/internal/fl"
@@ -29,8 +30,21 @@ type Config struct {
 	Seed int64
 	// FedSU carries the FedSU hyper-parameters (T_ℛ, T_𝒮, θ, variant).
 	FedSU core.Options
-	// Verbose receives progress lines when non-nil.
+	// Verbose receives progress lines when non-nil. Grid drivers wrap it so
+	// concurrent runs emit whole, per-run-prefixed lines.
 	Verbose io.Writer
+
+	// Parallel is the number of experiment runs in flight at once in the
+	// grid drivers (RunEndToEnd, RunFig8, the sweeps); values below 1 mean
+	// sequential. Results are bit-identical at any setting.
+	Parallel int
+	// Artifacts optionally shares one dataset/partition cache across
+	// drivers (nil gives each driver a private cache).
+	Artifacts *Artifacts
+	// Clock, when non-nil, timestamps each grid run for per-run wall-clock
+	// reporting (wired to time.Now by cmd/fedsu-bench; nil keeps library
+	// runs deterministic and silent).
+	Clock func() time.Time
 }
 
 // FastConfig returns a laptop-scale configuration used by tests and the
@@ -88,6 +102,11 @@ func (r *Run) TimeToAccuracy(target float64) (seconds float64, rounds int, reach
 			return st.SimTime, st.Round + 1, true
 		}
 	}
+	if len(r.Stats) == 0 {
+		// A zero-round run (Rounds=0, or cancelled before round one) has no
+		// trajectory at all: report zero totals rather than panicking.
+		return 0, 0, false
+	}
 	last := r.Stats[len(r.Stats)-1]
 	return last.SimTime, last.Round + 1, false
 }
@@ -114,6 +133,15 @@ func (r *Run) MeanSparsification() float64 {
 
 // RunOne executes one (workload, scheme) training run per the config.
 func RunOne(ctx context.Context, cfg Config, w Workload, scheme string) (*Run, error) {
+	return runOne(ctx, cfg, w, scheme, nil)
+}
+
+// runOne is RunOne with an optional artifact cache: when arts is non-nil,
+// the dataset and its Dirichlet partition come from the cache (built once
+// per key, shared read-only across concurrent runs) instead of being
+// synthesized per run. Cached and uncached paths are bit-identical because
+// both artifacts are pure functions of their key.
+func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Artifacts) (*Run, error) {
 	factory, err := fl.StrategyFactoryWith(scheme, cfg.FedSU)
 	if err != nil {
 		return nil, err
@@ -130,9 +158,17 @@ func RunOne(ctx context.Context, cfg Config, w Workload, scheme string) (*Run, e
 		Seed:           cfg.Seed,
 		WireParams:     w.WireParams,
 	}
-	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
+	dsSeed := cfg.Seed + 31
+	var engine *fl.Engine
 	builder := func() *nn.Model { return w.Model(w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
-	engine, err := fl.NewEngine(flCfg, builder, ds, factory)
+	if arts != nil {
+		ds := arts.Dataset(w, cfg.Samples, dsSeed)
+		shards := arts.Partition(w, ds, cfg.Samples, dsSeed,
+			flCfg.NumClients, flCfg.DirichletAlpha, flCfg.Seed)
+		engine, err = fl.NewEngineWithShards(flCfg, builder, ds, shards, factory)
+	} else {
+		engine, err = fl.NewEngine(flCfg, builder, w.Dataset(cfg.Samples, dsSeed), factory)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", w.Name, scheme, err)
 	}

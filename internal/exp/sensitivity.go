@@ -48,6 +48,7 @@ func runSweep(ctx context.Context, cfg Config, workloads []Workload, param strin
 		FinalAccuracy: map[string]map[string]float64{},
 		MeanRatio:     map[string]map[string]float64{},
 	}
+	var grid []GridRun
 	for _, w := range workloads {
 		res.Accuracy[w.Name] = map[string]*trace.Series{}
 		res.Ratio[w.Name] = map[string]*trace.Series{}
@@ -64,23 +65,34 @@ func runSweep(ctx context.Context, cfg Config, workloads []Workload, param strin
 				return nil, fmt.Errorf("exp: unknown sweep parameter %q", param)
 			}
 			label := fmt.Sprintf("%s=%g", param, v)
-			run, err := RunOne(ctx, c, w, "fedsu")
-			if err != nil {
-				return nil, err
-			}
-			acc := trace.NewSeries(label, "time_s", "accuracy")
-			ratio := trace.NewSeries(label, "time_s", "sparsification_ratio")
-			for _, st := range run.Stats {
-				if st.Accuracy >= 0 {
-					acc.Add(st.SimTime, st.Accuracy)
-				}
-				ratio.Add(st.SimTime, st.SparsificationRatio)
-			}
-			res.Accuracy[w.Name][label] = acc
-			res.Ratio[w.Name][label] = ratio
-			res.FinalAccuracy[w.Name][label] = acc.LastY()
-			res.MeanRatio[w.Name][label] = run.MeanSparsification()
+			// The swept threshold does not change the training data, so
+			// every cell of a workload's sweep shares one cached dataset
+			// and partition.
+			grid = append(grid, GridRun{
+				Cfg: c, Workload: w, Scheme: "fedsu",
+				Label: w.Name + "/" + label,
+			})
 		}
+	}
+	runs, err := NewScheduler(cfg).Run(ctx, grid)
+	if err != nil {
+		return nil, err
+	}
+	for i, g := range grid {
+		run, w := runs[i], g.Workload
+		label := g.Label[len(w.Name)+1:]
+		acc := trace.NewSeries(label, "time_s", "accuracy")
+		ratio := trace.NewSeries(label, "time_s", "sparsification_ratio")
+		for _, st := range run.Stats {
+			if st.Accuracy >= 0 {
+				acc.Add(st.SimTime, st.Accuracy)
+			}
+			ratio.Add(st.SimTime, st.SparsificationRatio)
+		}
+		res.Accuracy[w.Name][label] = acc
+		res.Ratio[w.Name][label] = ratio
+		res.FinalAccuracy[w.Name][label] = acc.LastY()
+		res.MeanRatio[w.Name][label] = run.MeanSparsification()
 	}
 	return res, nil
 }

@@ -18,20 +18,43 @@ type EndToEndResult struct {
 }
 
 // RunEndToEnd executes every (workload, scheme) pair of the paper's
-// end-to-end evaluation. The same result feeds Table I and Fig. 5.
+// end-to-end evaluation on the grid scheduler (cfg.Parallel runs in
+// flight, shared dataset/partition cache). The same result feeds Table I
+// and Fig. 5.
 func RunEndToEnd(ctx context.Context, cfg Config, workloads []Workload, schemes []string) (*EndToEndResult, error) {
-	res := &EndToEndResult{Cfg: cfg, Runs: map[string]map[string]*Run{}}
+	grid := endToEndGrid(cfg, workloads, schemes)
+	runs, err := NewScheduler(cfg).Run(ctx, grid)
+	if err != nil {
+		return nil, err
+	}
+	return assembleEndToEnd(cfg, grid, runs), nil
+}
+
+// endToEndGrid flattens the (workload × scheme) matrix into grid cells in
+// the sequential loop's iteration order.
+func endToEndGrid(cfg Config, workloads []Workload, schemes []string) []GridRun {
+	grid := make([]GridRun, 0, len(workloads)*len(schemes))
 	for _, w := range workloads {
-		res.Runs[w.Name] = map[string]*Run{}
 		for _, s := range schemes {
-			r, err := RunOne(ctx, cfg, w, s)
-			if err != nil {
-				return nil, err
-			}
-			res.Runs[w.Name][s] = r
+			grid = append(grid, GridRun{Cfg: cfg, Workload: w, Scheme: s})
 		}
 	}
-	return res, nil
+	return grid
+}
+
+// assembleEndToEnd indexes the scheduler's input-ordered results back into
+// the workload→scheme map.
+func assembleEndToEnd(cfg Config, grid []GridRun, runs []*Run) *EndToEndResult {
+	res := &EndToEndResult{Cfg: cfg, Runs: map[string]map[string]*Run{}}
+	for i, g := range grid {
+		m := res.Runs[g.Workload.Name]
+		if m == nil {
+			m = map[string]*Run{}
+			res.Runs[g.Workload.Name] = m
+		}
+		m[g.Scheme] = runs[i]
+	}
+	return res
 }
 
 // Table1 renders the time-to-target-accuracy comparison: per-round time,

@@ -48,6 +48,12 @@ type Workload struct {
 	EmuScale int
 	// WireParams is the paper-scale parameter count for accounting.
 	WireParams int
+	// DataName identifies the underlying corpus ("emnist", "fmnist",
+	// "cifar10"), independent of the workload label. It keys the
+	// shared-artifact dataset cache, so workloads that train different
+	// models on the same stand-in (resnet18 and lstm both use FMNIST)
+	// share one synthesized corpus. Empty falls back to Name.
+	DataName string
 
 	buildModel   func(scale int, seed int64) *nn.Model
 	buildDataset func(samples int, seed int64) *data.Dataset
@@ -77,9 +83,20 @@ func (w Workload) EffectiveScale(override int) int {
 	return 1
 }
 
-// Dataset builds the workload's dataset stand-in.
+// Dataset builds the workload's dataset stand-in. The result is immutable
+// (see internal/data) and therefore safe to share across concurrent runs;
+// grids route this call through the Artifacts cache so each distinct
+// (DataKey, samples, seed) corpus is synthesized once per cache.
 func (w Workload) Dataset(samples int, seed int64) *data.Dataset {
 	return w.buildDataset(samples, seed)
+}
+
+// DataKey returns the corpus identity used by the dataset cache.
+func (w Workload) DataKey() string {
+	if w.DataName != "" {
+		return w.DataName
+	}
+	return w.Name
 }
 
 // Workloads returns the paper's three evaluation workloads in presentation
@@ -101,6 +118,7 @@ func AllWorkloads() []Workload {
 func LSTMWorkload() Workload {
 	return Workload{
 		Name:           "lstm",
+		DataName:       "fmnist",
 		TargetAccuracy: 0.80,
 		LR:             0.01,
 		EmuLR:          0.05,
@@ -122,6 +140,7 @@ func LSTMWorkload() Workload {
 func CNNWorkload() Workload {
 	return Workload{
 		Name:           "cnn",
+		DataName:       "emnist",
 		TargetAccuracy: 0.60,
 		LR:             0.01,
 		EmuLR:          0.01,
@@ -143,6 +162,7 @@ func CNNWorkload() Workload {
 func ResNetWorkload() Workload {
 	return Workload{
 		Name:           "resnet18",
+		DataName:       "fmnist",
 		TargetAccuracy: 0.85,
 		LR:             0.001,
 		EmuLR:          0.02,
@@ -164,6 +184,7 @@ func ResNetWorkload() Workload {
 func DenseNetWorkload() Workload {
 	return Workload{
 		Name:           "densenet121",
+		DataName:       "cifar10",
 		TargetAccuracy: 0.65,
 		LR:             0.01,
 		EmuLR:          0.02,

@@ -136,6 +136,19 @@ type evalBatch struct {
 // Dirichlet skew, builds one model replica + optimizer + strategy instance
 // per client, and prepares the netem cluster and evaluation set.
 func NewEngine(cfg Config, builder nn.Builder, ds *data.Dataset, factory sparse.Factory) (*Engine, error) {
+	return NewEngineWithShards(cfg, builder, ds, nil, factory)
+}
+
+// NewEngineWithShards is NewEngine with the client partition supplied by the
+// caller; nil shards fall back to partitioning internally. Experiment grids
+// that run the same (dataset, NumClients, DirichletAlpha, Seed) cell under
+// several schemes pass a memoized partition so the Dirichlet split is
+// computed once and shared. Shards are read-shared across engines and
+// concurrently by client goroutines within an engine, which is safe because
+// Subset is immutable after construction (see internal/data); the supplied
+// partition must have been built with the same parameters NewEngine would
+// use, or the run will not reproduce the unshared path.
+func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shards []*data.Subset, factory sparse.Factory) (*Engine, error) {
 	if cfg.NumClients <= 0 {
 		return nil, fmt.Errorf("fl: NumClients = %d", cfg.NumClients)
 	}
@@ -161,7 +174,11 @@ func NewEngine(cfg Config, builder nn.Builder, ds *data.Dataset, factory sparse.
 	if cfg.CollectiveDeadline > 0 {
 		server.SetDeadline(cfg.CollectiveDeadline)
 	}
-	shards := data.PartitionDirichlet(ds, cfg.NumClients, cfg.DirichletAlpha, cfg.Seed)
+	if shards == nil {
+		shards = data.PartitionDirichlet(ds, cfg.NumClients, cfg.DirichletAlpha, cfg.Seed)
+	} else if len(shards) != cfg.NumClients {
+		return nil, fmt.Errorf("fl: %d shards for %d clients", len(shards), cfg.NumClients)
+	}
 
 	e := &Engine{
 		cfg:       cfg,
@@ -287,24 +304,27 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 		traffic sparse.Traffic
 		err     error
 	}
-	// At most par.Workers() clients run local SGD at once: each client's
-	// training already saturates the compute kernels, so oversubscribing
-	// goroutines beyond the worker pool only adds scheduler churn and peak
-	// memory (every in-flight client holds its model's activations). The
-	// slot is released BEFORE SyncRound — the server's collectives barrier
-	// until every client submits, so holding a compute slot across the
-	// barrier would deadlock whenever clients outnumber workers.
+	// At most par.TokenCap() clients run local SGD at once — across ALL
+	// engines in the process, not just this one: each client's training
+	// already saturates the compute kernels, so oversubscribing goroutines
+	// beyond the worker pool only adds scheduler churn and peak memory
+	// (every in-flight client holds its model's activations). The budget is
+	// process-global so an experiment grid running several engines
+	// concurrently (internal/exp's scheduler) still trains at most
+	// par.Workers() clients at once. The token is released BEFORE
+	// SyncRound — the server's collectives barrier until every client
+	// submits, so holding a compute token across the barrier would deadlock
+	// whenever clients outnumber tokens.
 	results := make([]result, len(e.clients))
-	sem := make(chan struct{}, max(1, par.Workers()))
 	var wg sync.WaitGroup
 	for i := range e.clients {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			c := e.clients[i]
-			sem <- struct{}{}
+			par.AcquireToken()
 			loss := c.TrainLocal(e.cfg.LocalIters, e.cfg.BatchSize)
-			<-sem
+			par.ReleaseToken()
 			tr, err := c.SyncRoundCtx(ctx, k, isParticipant[i])
 			results[i] = result{loss: loss, traffic: tr, err: err}
 		}(i)

@@ -14,6 +14,18 @@
 // computation order independent of chunking; ParallelizeGrain helps by
 // aligning chunk boundaries to a fixed grain so block-structured kernels see
 // the same absolute block decomposition at every worker count.
+//
+// Beyond the pool, the package exposes a process-wide compute-token budget
+// (AcquireToken/ReleaseToken) for coarse-grained compute sections — e.g. one
+// client's whole local-SGD pass — that are started from unbounded goroutine
+// fan-outs. The budget holds Workers() tokens, so however many experiment
+// runs, engines, and client goroutines are in flight, at most Workers()
+// coarse compute sections execute at once and the three nesting levels
+// (run-level × client-level × kernel-level) cannot oversubscribe the
+// machine. Tokens must never be held across a blocking rendezvous with
+// another token holder (a collective barrier, a channel handshake): the
+// budget is a throttle, not a lock, and the training stack releases it
+// before every synchronization point.
 package par
 
 import (
@@ -34,7 +46,9 @@ type pool struct {
 var current atomic.Pointer[pool]
 
 func init() {
-	current.Store(newPool(runtime.GOMAXPROCS(0)))
+	n := runtime.GOMAXPROCS(0)
+	current.Store(newPool(n))
+	budget.resize(n)
 }
 
 func newPool(n int) *pool {
@@ -64,17 +78,76 @@ func (p *pool) worker() {
 // included, that Parallelize will use).
 func Workers() int { return current.Load().size }
 
-// SetWorkers resizes the pool and returns the previous size. It exists for
-// tests (forcing serial or oversubscribed execution) and for embedders that
-// want to reserve cores; n < 1 is clamped to 1. Concurrent in-flight
-// Parallelize calls finish on whichever pool they started with.
+// SetWorkers resizes the pool (and the compute-token budget with it) and
+// returns the previous size. It exists for tests (forcing serial or
+// oversubscribed execution) and for embedders that want to reserve cores;
+// n < 1 is clamped to 1. Concurrent in-flight Parallelize calls finish on
+// whichever pool they started with.
 func SetWorkers(n int) (prev int) {
 	if n < 1 {
 		n = 1
 	}
 	old := current.Swap(newPool(n))
 	close(old.quit)
+	budget.resize(n)
 	return old.size
+}
+
+// tokenBudget is a resizable counting semaphore. Unlike a buffered channel
+// it survives capacity changes mid-flight: shrinking simply delays new
+// acquisitions until outstanding tokens drain below the new capacity.
+type tokenBudget struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+var budget tokenBudget
+
+func (b *tokenBudget) resize(n int) {
+	b.mu.Lock()
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
+	}
+	b.cap = n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// AcquireToken blocks until one of the process-wide compute tokens is free
+// and claims it. Pair every acquisition with exactly one ReleaseToken, and
+// never hold a token across a rendezvous that waits on other token holders
+// (see the package comment).
+func AcquireToken() {
+	b := &budget
+	b.mu.Lock()
+	for b.used >= b.cap {
+		b.cond.Wait()
+	}
+	b.used++
+	b.mu.Unlock()
+}
+
+// ReleaseToken returns a token claimed by AcquireToken.
+func ReleaseToken() {
+	b := &budget
+	b.mu.Lock()
+	if b.used <= 0 {
+		b.mu.Unlock()
+		panic("par: ReleaseToken without matching AcquireToken")
+	}
+	b.used--
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+// TokenCap returns the current compute-token capacity (the pool size).
+func TokenCap() int {
+	b := &budget
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap
 }
 
 // Parallelize runs fn over the half-open range [0, n) split into contiguous

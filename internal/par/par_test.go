@@ -94,6 +94,82 @@ func TestSetWorkers(t *testing.T) {
 	}
 }
 
+// TestTokenBudgetBounds verifies the compute-token budget never admits more
+// than TokenCap() holders at once, across many contending goroutines.
+func TestTokenBudgetBounds(t *testing.T) {
+	defer SetWorkers(SetWorkers(3))
+	if TokenCap() != 3 {
+		t.Fatalf("TokenCap() = %d after SetWorkers(3)", TokenCap())
+	}
+	var inFlight, peak int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				AcquireToken()
+				n := atomic.AddInt64(&inFlight, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+						break
+					}
+				}
+				atomic.AddInt64(&inFlight, -1)
+				ReleaseToken()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("token budget admitted %d concurrent holders, cap 3", peak)
+	}
+}
+
+// TestTokenBudgetResize shrinks the budget while tokens are outstanding: the
+// holders must drain normally and new acquisitions must respect the new cap.
+func TestTokenBudgetResize(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+	held := make(chan struct{})
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			AcquireToken()
+			held <- struct{}{}
+			<-release
+			ReleaseToken()
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-held
+	}
+	SetWorkers(1) // now over-budget by 3
+	acquired := make(chan struct{})
+	go func() {
+		AcquireToken()
+		defer ReleaseToken()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("acquired a token while 4 were outstanding against cap 1")
+	default:
+	}
+	close(release) // drain all 4
+	<-acquired     // must eventually proceed once used < 1... (used drains to 0)
+}
+
+// TestReleaseTokenUnderflow pins the misuse guard.
+func TestReleaseTokenUnderflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReleaseToken without Acquire did not panic")
+		}
+	}()
+	ReleaseToken()
+}
+
 // TestParallelizeConcurrentCallers runs many simultaneous Parallelize calls
 // through one small pool; under -race this doubles as the pool's data-race
 // check.

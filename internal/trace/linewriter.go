@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"sync"
+)
+
+// SyncWriter serializes Write calls to an underlying writer so that
+// concurrent writers cannot interleave bytes within one call. It is the
+// shared trunk that per-run PrefixWriter branches write whole lines into.
+type SyncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSyncWriter wraps w; a nil w yields a writer that discards everything,
+// so callers can wire it unconditionally.
+func NewSyncWriter(w io.Writer) *SyncWriter { return &SyncWriter{w: w} }
+
+// Write implements io.Writer.
+func (s *SyncWriter) Write(p []byte) (int, error) {
+	if s.w == nil {
+		return len(p), nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// PrefixWriter is an io.Writer that buffers partial writes into lines and
+// emits each complete line — prefix prepended — as a single Write to the
+// underlying writer. Pointed at a shared SyncWriter, it makes concurrent
+// progress logs legible: every emitted line is whole and tagged with its
+// origin, however the producing goroutines interleave.
+//
+// A PrefixWriter is owned by one producer and is NOT itself safe for
+// concurrent Write calls; concurrency safety comes from giving each
+// producer its own PrefixWriter over one shared SyncWriter.
+type PrefixWriter struct {
+	out    io.Writer
+	prefix []byte
+	buf    bytes.Buffer
+}
+
+// NewPrefixWriter builds a line-buffering writer tagging lines with prefix.
+func NewPrefixWriter(out io.Writer, prefix string) *PrefixWriter {
+	return &PrefixWriter{out: out, prefix: []byte(prefix)}
+}
+
+// Write implements io.Writer. Input may contain any mix of partial lines
+// and embedded newlines; only complete lines reach the underlying writer.
+func (p *PrefixWriter) Write(b []byte) (int, error) {
+	total := len(b)
+	for {
+		nl := bytes.IndexByte(b, '\n')
+		if nl < 0 {
+			p.buf.Write(b)
+			return total, nil
+		}
+		line := make([]byte, 0, len(p.prefix)+p.buf.Len()+nl+1)
+		line = append(line, p.prefix...)
+		line = append(line, p.buf.Bytes()...)
+		line = append(line, b[:nl+1]...)
+		p.buf.Reset()
+		if _, err := p.out.Write(line); err != nil {
+			return total - len(b[nl+1:]), err
+		}
+		b = b[nl+1:]
+	}
+}
+
+// Flush emits any buffered partial line (newline-terminated). Call it when
+// the producer finishes so a run's trailing output is not silently dropped.
+func (p *PrefixWriter) Flush() error {
+	if p.buf.Len() == 0 {
+		return nil
+	}
+	line := make([]byte, 0, len(p.prefix)+p.buf.Len()+1)
+	line = append(line, p.prefix...)
+	line = append(line, p.buf.Bytes()...)
+	line = append(line, '\n')
+	p.buf.Reset()
+	_, err := p.out.Write(line)
+	return err
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrefixWriterLineAssembly feeds fragmented and multi-line writes and
+// checks every emitted line is whole and prefixed.
+func TestPrefixWriterLineAssembly(t *testing.T) {
+	var sb strings.Builder
+	p := NewPrefixWriter(&sb, "[a] ")
+	io.WriteString(p, "hel")
+	io.WriteString(p, "lo\nwor")
+	io.WriteString(p, "ld\npartial")
+	if got, want := sb.String(), "[a] hello\n[a] world\n"; got != want {
+		t.Fatalf("emitted %q, want %q", got, want)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sb.String(), "[a] hello\n[a] world\n[a] partial\n"; got != want {
+		t.Fatalf("after flush %q, want %q", got, want)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "partial") != 1 {
+		t.Fatal("second Flush re-emitted the buffered line")
+	}
+}
+
+// TestPrefixWriterConcurrentProducers is the harness scenario: several runs
+// logging through their own PrefixWriter into one SyncWriter. Every line in
+// the merged output must be exactly one producer's whole line.
+func TestPrefixWriterConcurrentProducers(t *testing.T) {
+	var sb strings.Builder
+	var mu sync.Mutex
+	locked := writerFunc(func(b []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(b)
+	})
+	trunk := NewSyncWriter(locked)
+	const producers, lines = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := NewPrefixWriter(trunk, fmt.Sprintf("[p%d] ", g))
+			for i := 0; i < lines; i++ {
+				// Split each line across several writes to provoke tearing.
+				fmt.Fprintf(p, "line ")
+				fmt.Fprintf(p, "%d-", g)
+				fmt.Fprintf(p, "%d\n", i)
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	got := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(got) != producers*lines {
+		t.Fatalf("%d lines, want %d", len(got), producers*lines)
+	}
+	sort.Strings(got)
+	var want []string
+	for g := 0; g < producers; g++ {
+		for i := 0; i < lines; i++ {
+			want = append(want, fmt.Sprintf("[p%d] line %d-%d", g, g, i))
+		}
+	}
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d: %q, want %q (torn write?)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSyncWriterNil pins the discard behaviour for an unset sink.
+func TestSyncWriterNil(t *testing.T) {
+	n, err := NewSyncWriter(nil).Write([]byte("dropped"))
+	if n != 7 || err != nil {
+		t.Fatalf("Write = (%d, %v), want (7, nil)", n, err)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(b []byte) (int, error) { return f(b) }
