@@ -6,7 +6,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 vet lint race fuzz verify bench bench-agg bench-grid
+.PHONY: tier1 vet lint race fuzz verify bench bench-agg bench-grid \
+	tier1-f32 race-f32 verify-f32
 
 tier1:
 	$(GO) build ./...
@@ -16,13 +17,27 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: scratchpair, ctxdispatch, determinism,
-# errwrap (see DESIGN.md §5e). Suppress a finding with
+# errwrap, precision (see DESIGN.md §5e). Suppress a finding with
 # `//lint:allow <analyzer> <reason>` on or above the offending line.
 lint:
 	$(GO) run ./cmd/fedsu-lint ./...
 
 race:
 	$(GO) test -race ./...
+
+# Float32 compute lane: the same tier-1 and race gates with the experiment
+# suite's test helpers switched to the float32 kernel instantiation
+# (FEDSU_DTYPE is read only by _test.go helpers, never by library code).
+# The grid bit-identity proofs then run against the float32 path, with the
+# FedSU managers in Quantize mode.
+tier1-f32:
+	$(GO) build ./...
+	FEDSU_DTYPE=float32 $(GO) test -shuffle=on ./...
+
+race-f32:
+	FEDSU_DTYPE=float32 $(GO) test -race ./...
+
+verify-f32: tier1-f32 race-f32
 
 # Short fuzz smoke over the rpc wire contract (nil-vs-abstain regression),
 # the sparse mask codecs, and the self-describing vector payload flrpc

@@ -86,6 +86,7 @@ func runGridBench(ctx context.Context, cfg exp.Config, reps int, scale string) e
 			"parallel_slots": cfg.Parallel,
 			"rounds":         cfg.Rounds,
 			"clients":        cfg.Clients,
+			"dtype":          cfg.DType.String(),
 		},
 		"wall_seconds": map[string]any{
 			"sequential_median": round2(seqMed),

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"fedsu/internal/exp"
+	"fedsu/internal/tensor"
 	"fedsu/internal/trace"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment runs in flight at once in the grid experiments")
 		seq        = flag.Bool("seq", false, "force sequential grid execution (same as -parallel 1)")
 		gridBench  = flag.Int("gridbench", 0, "run the table1 grid n times sequential-uncached and n times parallel-cached, report medians, and write the BENCH_grid.json document to stdout")
+		dtype      = flag.String("dtype", "float64", "compute precision: float64 (bit-identical legacy results) or float32 (half the memory bandwidth, lossless wire)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,11 @@ func main() {
 		cfg.ModelScale = *modelScale
 	}
 	cfg.Seed = *seed
+	dt, err := tensor.ParseDType(*dtype)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.DType = dt
 	cfg.Verbose = os.Stderr
 	cfg.Parallel = *parallel
 	if *seq {

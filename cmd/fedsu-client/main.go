@@ -30,6 +30,7 @@ import (
 	"fedsu/internal/fl"
 	"fedsu/internal/opt"
 	"fedsu/internal/sparse"
+	"fedsu/internal/tensor"
 )
 
 func main() {
@@ -45,11 +46,16 @@ func main() {
 		scale     = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the server)")
 		seed      = flag.Int64("seed", 1, "fleet-shared seed")
 		retries   = flag.Int("retries", 4, "collective-call retries on transport failure (-1 disables)")
+		dtype     = flag.String("dtype", "float64", "compute precision: float64 or float32 (must match the fleet)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval so the coordinator can tell slow from dead (0 disables)")
 	)
 	flag.Parse()
 
 	w, err := exp.WorkloadByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	dt, err := tensor.ParseDType(*dtype)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +72,7 @@ func main() {
 	id := conn.ClientID()
 	fmt.Printf("fedsu-client: joined as client %d of %d\n", id, conn.NumClients())
 
-	model := w.Model(w.EffectiveScale(*scale), *seed+97)
+	model := w.ModelOf(dt, w.EffectiveScale(*scale), *seed+97)
 	if model.Size() != conn.ModelSize() {
 		fatal(fmt.Errorf("model size %d does not match session %d (check -workload/-scale/-seed)",
 			model.Size(), conn.ModelSize()))
@@ -79,7 +85,13 @@ func main() {
 	shards := data.PartitionDirichlet(ds, conn.NumClients(), 1.0, *seed)
 	shard := shards[id]
 
-	factory, err := fl.StrategyFactoryWith(*scheme, fedsu.DefaultOptions())
+	opts := fedsu.DefaultOptions()
+	if dt == tensor.Float32 {
+		// Keep the FedSU state machine in the wire image the float32 model
+		// actually stores (see core.Options.Quantize).
+		opts.Quantize = true
+	}
+	factory, err := fl.StrategyFactoryWith(*scheme, opts)
 	if err != nil {
 		fatal(err)
 	}

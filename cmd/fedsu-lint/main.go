@@ -26,6 +26,7 @@ import (
 	"fedsu/internal/analysis/determinism"
 	"fedsu/internal/analysis/driver"
 	"fedsu/internal/analysis/errwrap"
+	"fedsu/internal/analysis/precision"
 	"fedsu/internal/analysis/scratchpair"
 )
 
@@ -35,6 +36,7 @@ var analyzers = []*analysis.Analyzer{
 	ctxdispatch.Analyzer,
 	determinism.Analyzer,
 	errwrap.Analyzer,
+	precision.Analyzer,
 }
 
 func main() {

@@ -35,6 +35,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "write per-round stats CSV to this path")
 		evalEvery  = flag.Int("eval-every", 2, "evaluate the global model every n rounds")
 		proxMu     = flag.Float64("prox", 0, "FedProx proximal coefficient (0 disables)")
+		dtype      = flag.String("dtype", "float64", "compute precision: float64 (bit-identical legacy results) or float32 (half the memory bandwidth, lossless wire)")
 		ckptPath   = flag.String("checkpoint", "", "save a checkpoint here after the final round")
 		resumePath = flag.String("resume", "", "resume from a checkpoint before training")
 	)
@@ -49,7 +50,7 @@ func main() {
 		LocalIters: *iters, BatchSize: *batch,
 		Samples: *samples, ModelScale: *scale,
 		EvalEvery: *evalEvery, Seed: *seed, FedSU: opts,
-		ProxMu: *proxMu,
+		ProxMu: *proxMu, DType: *dtype,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsu-sim:", err)

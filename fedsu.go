@@ -36,6 +36,7 @@ import (
 	"fedsu/internal/netem"
 	"fedsu/internal/nn"
 	"fedsu/internal/sparse"
+	"fedsu/internal/tensor"
 )
 
 // Options configures the FedSU algorithm (thresholds T_ℛ and T_𝒮, EMA decay
@@ -154,6 +155,11 @@ type SimulationConfig struct {
 	// ProxMu adds a FedProx proximal term to the local objective (zero,
 	// the paper's setup, disables it).
 	ProxMu float64
+	// DType selects the compute precision: "float64" (or empty — the
+	// historical default, bit-identical results) or "float32" (half the
+	// memory bandwidth and a lossless wire). Aliases "f64"/"f32" are
+	// accepted.
+	DType string
 }
 
 // Simulation is a configured emulated run.
@@ -191,6 +197,15 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	if cfg.FedSU == (Options{}) {
 		cfg.FedSU = DefaultOptions()
 	}
+	dt, err := tensor.ParseDType(cfg.DType)
+	if err != nil {
+		return nil, err
+	}
+	if dt == tensor.Float32 {
+		// Keep the FedSU state machine in the wire image the float32
+		// clients actually store (see core.Options.Quantize).
+		cfg.FedSU.Quantize = true
+	}
 	factory, err := fl.StrategyFactoryWith(cfg.Scheme, cfg.FedSU)
 	if err != nil {
 		return nil, err
@@ -208,9 +223,10 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		Netem:          cfg.Netem,
 		WireParams:     w.WireParams,
 		ProxMu:         cfg.ProxMu,
+		DType:          dt,
 	}
 	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
-	builder := func() *nn.Model { return w.Model(w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
+	builder := func() *nn.Model { return w.ModelOf(dt, w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
 	engine, err := fl.NewEngine(flCfg, builder, ds, factory)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,160 @@
+// Package precision guards the float32 compute path's rounding discipline
+// in the precision-scoped packages (internal/tensor, internal/nn,
+// internal/opt, internal/fl, internal/data): every crossing between the
+// storage element width (float32 or float64, or the generic tensor.Elem
+// width E) and a concrete float width must be a deliberate, documented
+// boundary. Scattered ad-hoc conversions are how a "float32" kernel
+// silently computes in double precision — or worse, rounds a value twice
+// on two code paths and breaks the serial-vs-parallel bit-identity the
+// grid scheduler promises.
+//
+// The sanctioned crossings are few and named: nn's toF64/roundE pair (the
+// per-term widening and single-rounding helpers every reduction routes
+// through), tensor's sync-boundary copies and accessors, the wire codec's
+// QuantizeWire (internal/sparse is deliberately out of scope — rounding IS
+// its contract), batch assembly in internal/data, and the per-dispatch
+// scalar conversions where a float64 hyper-parameter enters a generic
+// kernel exactly once. Each such site carries a
+// `//lint:allow precision <reason>` directive; everything else is flagged.
+//
+// Conversions from non-float operands (float64(len(x)), float32(i)) and
+// constant expressions (float32(0.5), E(1) — folded exactly at compile
+// time) are not width crossings and are not flagged.
+package precision
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fedsu/internal/analysis"
+)
+
+// Analyzer is the precision check.
+var Analyzer = &analysis.Analyzer{
+	Name: "precision",
+	Doc: "flag float64<->float32 width crossings outside sanctioned boundaries in kernel packages\n\n" +
+		"internal/tensor, internal/nn, internal/opt, internal/fl, and " +
+		"internal/data must round at most once per value, at a named " +
+		"boundary (toF64/roundE, sync copies, batch assembly, dispatch " +
+		"scalars). Every other conversion between float32, float64, and " +
+		"the generic element width is a finding; document deliberate " +
+		"boundaries with //lint:allow precision <reason>.",
+	Run: run,
+}
+
+// scope is the set of packages under the single-rounding contract.
+// internal/sparse is excluded by design: the wire codec's float32 rounding
+// is its documented behaviour, not an accident.
+var scope = map[string]bool{
+	"fedsu/internal/tensor": true,
+	"fedsu/internal/nn":     true,
+	"fedsu/internal/opt":    true,
+	"fedsu/internal/fl":     true,
+	"fedsu/internal/data":   true,
+}
+
+// width classification of a conversion endpoint.
+const (
+	wNone    = 0
+	w32      = 32
+	w64      = 64
+	wGeneric = -1
+)
+
+func run(pass *analysis.Pass) error {
+	if !scope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a function call, not a conversion
+			}
+			argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+			if !ok || argTV.Value != nil {
+				return true // constants convert exactly once, at compile time
+			}
+			dst, src := classify(tv.Type), classify(argTV.Type)
+			if dst == wNone || src == wNone || dst == src {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s→%s conversion crosses float widths in precision-scoped package %s; cross once at a sanctioned boundary (toF64/roundE, sync copy, dispatch scalar) and annotate it with //lint:allow precision <reason>",
+				widthName(src, argTV.Type), widthName(dst, tv.Type), pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// classify maps a type to its float width: the concrete widths, wGeneric
+// for a type parameter whose type set contains a float, wNone otherwise.
+// Two type parameters both classify as wGeneric, so a parameter-to-
+// parameter conversion is not flagged: the crossing direction depends on
+// the instantiation, and the kernels keep one element parameter per
+// function so the shape does not occur.
+func classify(t types.Type) int {
+	if tp, ok := t.(*types.TypeParam); ok {
+		if constraintHasFloat(tp) {
+			return wGeneric
+		}
+		return wNone
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Float32:
+			return w32
+		case types.Float64:
+			return w64
+		}
+	}
+	return wNone
+}
+
+// constraintHasFloat reports whether the type parameter's constraint's
+// type set mentions any float basic type (tensor.Elem does).
+func constraintHasFloat(tp *types.TypeParam) bool {
+	iface, ok := tp.Constraint().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	for i := 0; i < iface.NumEmbeddeds(); i++ {
+		if termHasFloat(iface.EmbeddedType(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+func termHasFloat(t types.Type) bool {
+	if u, ok := t.(*types.Union); ok {
+		for i := 0; i < u.Len(); i++ {
+			if termHasFloat(u.Term(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// widthName renders a conversion endpoint for the diagnostic: the concrete
+// widths by name, a generic endpoint by its type parameter's own name.
+func widthName(w int, t types.Type) string {
+	switch w {
+	case w32:
+		return "float32"
+	case w64:
+		return "float64"
+	default:
+		if tp, ok := t.(*types.TypeParam); ok {
+			return "generic " + tp.Obj().Name()
+		}
+		return "generic width"
+	}
+}

@@ -1,0 +1,13 @@
+package precision_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/precision"
+)
+
+func TestPrecision(t *testing.T) {
+	analysistest.Run(t, "testdata", precision.Analyzer,
+		"fedsu/internal/nn", "fedsu/internal/sparse")
+}

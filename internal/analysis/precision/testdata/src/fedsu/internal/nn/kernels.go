@@ -1,0 +1,68 @@
+// Package nn is the in-scope half of the precision corpus: this package
+// path is under the single-rounding contract, so every undocumented float
+// width crossing is a finding.
+package nn
+
+// Elem mirrors tensor.Elem: the generic storage width.
+type Elem interface{ float32 | float64 }
+
+// narrow rounds a double to single precision ad hoc — the canonical bug.
+func narrow(x float64) float32 {
+	return float32(x) // want `float64→float32 conversion crosses float widths`
+}
+
+// widen promotes storage to accumulator width outside toF64 — exact, but
+// still a crossing the policy wants routed through the named helper.
+func widen(y float32) float64 {
+	return float64(y) // want `float32→float64 conversion crosses float widths`
+}
+
+// roundGeneric writes a float64 into the generic width: the roundE shape.
+// Outside the sanctioned helper it is a finding; the helper itself carries
+// the allow directive.
+func roundGeneric[E Elem](v float64) E {
+	return E(v) // want `float64→generic E conversion crosses float widths`
+}
+
+// widenGeneric reads the generic width at float64: the toF64 shape.
+func widenGeneric[E Elem](v E) float64 {
+	return float64(v) // want `generic E→float64 conversion crosses float widths`
+}
+
+// narrowGeneric forces the generic width down to single precision.
+func narrowGeneric[E Elem](v E) float32 {
+	return float32(v) // want `generic E→float32 conversion crosses float widths`
+}
+
+// sanctioned is a documented boundary: the directive suppresses the
+// finding, as on the real tree's toF64/roundE and dispatch scalars.
+func sanctioned[E Elem](v float64) E {
+	return E(v) //lint:allow precision single-rounding helper, the sanctioned write crossing
+}
+
+// exactConversions never cross float widths and are not findings: constant
+// operands fold at compile time, integer operands are counts not values on
+// the storage/accumulator axis, and same-width conversions are identity.
+func exactConversions[E Elem](xs []float64, n int) (E, float32, float64, float64) {
+	c := E(0.5)
+	s := float32(n)
+	l := float64(len(xs))
+	same := float64(xs[0])
+	return c, s, l, same
+}
+
+// genericToGeneric: conversions between two generic widths are not
+// flagged — the analyzer cannot name the crossing direction without an
+// instantiation, and the kernels keep one element parameter per function,
+// so the shape does not occur on the real tree.
+func genericToGeneric[E Elem, F Elem](v E) F {
+	return F(v)
+}
+
+// notAConversion: calls that merely look like single-argument conversions
+// (a function named like a width) are left alone.
+func half(x float64) float64 { return x / 2 }
+
+func callsNotFlagged(x float64) float64 {
+	return half(x)
+}

@@ -1,0 +1,17 @@
+// Package sparse is the out-of-scope half of the precision corpus: the
+// wire codec's float32 rounding is its documented contract, so nothing
+// here is flagged even without allow directives.
+package sparse
+
+// QuantizeWire mirrors the real codec's deliberate double rounding trip.
+func QuantizeWire(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(float32(v))
+}
+
+func encodeValue(v float64) uint32 {
+	f := float32(v)
+	return uint32(f)
+}

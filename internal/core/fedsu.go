@@ -99,6 +99,15 @@ type Options struct {
 	// slope draw cannot make 𝒮 explode for a correctly stagnating
 	// parameter.
 	RawErrorNorm bool
+	// Quantize rounds every synchronized output value through
+	// sparse.QuantizeWire, keeping the manager's view of the global
+	// trajectory inside the float32-representable set. Float32 engines set
+	// it so that loading the sync result into a float32 model is exact:
+	// predictions, aggregated means, and therefore prevGlobal/slope state
+	// all live in the wire image, and speculative refinement accumulates no
+	// storage-rounding error. Float64 engines leave it off (the historical
+	// behaviour, bit-for-bit).
+	Quantize bool
 }
 
 // DefaultOptions returns the paper's evaluation configuration
@@ -375,19 +384,22 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 	// Regular parameters take the aggregated global value.
 	for j, i := range regular {
 		if aggModel != nil {
-			out[i] = aggModel[j]
+			out[i] = m.q(aggModel[j])
 		} else {
-			out[i] = local[i]
+			out[i] = m.q(local[i])
 		}
 	}
 
 	// Speculative parameters are refined by the predicted per-round update
 	// (masked replacement), and their local prediction error accumulates.
+	// Under Quantize the prediction itself is snapped to the wire image, so
+	// the value the client stores (and trains from next round) is exactly
+	// the value the manager accounted for.
 	for i := 0; i < m.size; i++ {
 		if m.mode[i] != modeSpeculative {
 			continue
 		}
-		predicted := m.prevGlobal[i] + m.slope[i]
+		predicted := m.q(m.prevGlobal[i] + m.slope[i])
 		out[i] = predicted
 		// e_r = g̃_r − g_k, with the local update standing in for the true
 		// gradient until aggregation.
@@ -435,7 +447,7 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 			} else {
 				// Prediction diverged: rectify with the aggregated error
 				// and return the parameter to regular updating.
-				out[i] += e
+				out[i] = m.q(out[i] + e)
 				m.revertToRegular(i)
 			}
 		}
@@ -500,6 +512,11 @@ func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, con
 		copy(out, agg)
 	} else {
 		copy(out, local)
+	}
+	if m.opts.Quantize {
+		for i, v := range out {
+			out[i] = sparse.QuantizeWire(v)
+		}
 	}
 	copy(m.prevGlobal, out)
 	m.started = true
@@ -627,6 +644,16 @@ func (m *Manager) revertToRegular(i int) {
 	m.noCheckLeft[i] = 0
 	m.accumErr[i] = 0
 	m.specRounds[i] = 0
+}
+
+// q maps v to its wire image when Quantize is set (identity otherwise).
+// Every value written to the sync output goes through it, so a float32
+// model loads the output exactly.
+func (m *Manager) q(v float64) float64 {
+	if m.opts.Quantize {
+		return sparse.QuantizeWire(v)
+	}
+	return v
 }
 
 // feedbackSignal computes 𝒮 = |Σe_r| / |g_k| (Eq. 3). Unless RawErrorNorm

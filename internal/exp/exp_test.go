@@ -3,9 +3,25 @@ package exp
 import (
 	"bytes"
 	"context"
+	"os"
 	"strings"
 	"testing"
+
+	"fedsu/internal/tensor"
 )
+
+// testDType is the compute precision for this test process. The float32 CI
+// lane (make tier1-f32 / race-f32) sets FEDSU_DTYPE=float32 so the whole
+// experiment suite — including the bit-identity proofs — runs against the
+// second kernel instantiation; unset it runs the historical float64 path.
+// Only this test helper reads the environment; library code never does.
+func testDType() tensor.DType {
+	dt, err := tensor.ParseDType(os.Getenv("FEDSU_DTYPE"))
+	if err != nil {
+		panic("FEDSU_DTYPE: " + err.Error())
+	}
+	return dt
+}
 
 // microConfig is the smallest configuration that still exercises every
 // experiment code path.
@@ -18,6 +34,7 @@ func microConfig() Config {
 	cfg.Samples = 188 // exercises uneven shard sizes
 	cfg.ModelScale = 32
 	cfg.EvalEvery = 2
+	cfg.DType = testDType()
 	return cfg
 }
 

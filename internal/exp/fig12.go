@@ -52,9 +52,10 @@ func trackTrajectories(ctx context.Context, cfg Config, w Workload, scheme strin
 		EvalSamples:    64,
 		Seed:           cfg.Seed,
 		WireParams:     w.WireParams,
+		DType:          cfg.DType,
 	}
 	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
-	builder := func() *nn.Model { return w.Model(cfg.ModelScale, cfg.Seed+97) }
+	builder := func() *nn.Model { return w.ModelOf(cfg.DType, cfg.ModelScale, cfg.Seed+97) }
 	engine, err := fl.NewEngine(flCfg, builder, ds, factory)
 	if err != nil {
 		return nil, nil, err

@@ -118,9 +118,10 @@ func newExpEngine(cfg Config, w Workload, scheme string) (*fl.Engine, error) {
 		EvalSamples:    64,
 		Seed:           cfg.Seed,
 		WireParams:     w.WireParams,
+		DType:          cfg.DType,
 	}
 	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
-	builder := func() *nn.Model { return w.Model(w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
+	builder := func() *nn.Model { return w.ModelOf(cfg.DType, w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
 	return fl.NewEngine(flCfg, builder, ds, factory)
 }
 

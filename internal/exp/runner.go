@@ -9,6 +9,7 @@ import (
 	"fedsu/internal/core"
 	"fedsu/internal/fl"
 	"fedsu/internal/nn"
+	"fedsu/internal/tensor"
 )
 
 // Config sets the emulation scale shared by all experiments.
@@ -24,6 +25,13 @@ type Config struct {
 	Samples int
 	// ModelScale divides model widths (1 = paper scale).
 	ModelScale int
+	// DType selects the compute precision for every model replica in the
+	// grid. The zero value (tensor.Float64) reproduces the historical
+	// results bit-for-bit; tensor.Float32 halves model/scratch memory and
+	// makes the wire codec lossless. Under float32 the FedSU managers run
+	// with Quantize set so the speculative state machine operates entirely
+	// in the wire image the clients actually store.
+	DType tensor.DType
 	// EvalEvery evaluates the global model every n rounds.
 	EvalEvery int
 	// Seed drives all randomness.
@@ -142,7 +150,11 @@ func RunOne(ctx context.Context, cfg Config, w Workload, scheme string) (*Run, e
 // synthesized per run. Cached and uncached paths are bit-identical because
 // both artifacts are pure functions of their key.
 func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Artifacts) (*Run, error) {
-	factory, err := fl.StrategyFactoryWith(scheme, cfg.FedSU)
+	fedsuOpts := cfg.FedSU
+	if cfg.DType == tensor.Float32 {
+		fedsuOpts.Quantize = true
+	}
+	factory, err := fl.StrategyFactoryWith(scheme, fedsuOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -157,10 +169,11 @@ func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Ar
 		EvalBatch:      64,
 		Seed:           cfg.Seed,
 		WireParams:     w.WireParams,
+		DType:          cfg.DType,
 	}
 	dsSeed := cfg.Seed + 31
 	var engine *fl.Engine
-	builder := func() *nn.Model { return w.Model(w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
+	builder := func() *nn.Model { return w.ModelOf(cfg.DType, w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }
 	if arts != nil {
 		ds := arts.Dataset(w, cfg.Samples, dsSeed)
 		shards := arts.Partition(w, ds, cfg.Samples, dsSeed,

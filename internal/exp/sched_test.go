@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"fedsu/internal/tensor"
 	"fedsu/internal/trace"
 )
 
@@ -106,6 +107,39 @@ func TestGridBitIdentity(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestGridBitIdentityFloat32 pins the determinism contract to the float32
+// instantiation regardless of the FEDSU_DTYPE lane this process runs under:
+// the reduced grid (with the FedSU managers in their Quantize mode) produces
+// bit-identical statistics and final models sequentially and with 4 slots.
+// Worker goroutines must not perturb float32 kernels any more than float64
+// ones — rounding happens at fixed per-value points, never reassociation.
+func TestGridBitIdentityFloat32(t *testing.T) {
+	cfg, workloads := bitIdentGrid(t)
+	cfg.DType = tensor.Float32
+	cfg.Rounds = 4
+	grid := endToEndGrid(cfg, workloads, Schemes())
+
+	seqCfg := cfg
+	seqCfg.Parallel = 1
+	want, err := NewScheduler(seqCfg).Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pCfg := cfg
+	pCfg.Parallel = 4
+	got, err := NewScheduler(pCfg).Run(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if seq, par := fingerprint(want[i]), fingerprint(got[i]); seq != par {
+			t.Fatalf("float32 run %d (%s/%s) diverged from sequential\nseq:  %.120s\npar:  %.120s",
+				i, grid[i].Workload.Name, grid[i].Scheme, seq, par)
+		}
+	}
 }
 
 // TestEndToEndParallelMatchesSequential checks the full driver (grid build,

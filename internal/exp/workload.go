@@ -16,6 +16,7 @@ import (
 
 	"fedsu/internal/data"
 	"fedsu/internal/nn"
+	"fedsu/internal/tensor"
 )
 
 // Paper-scale parameter counts used for traffic/compute accounting.
@@ -55,12 +56,20 @@ type Workload struct {
 	// share one synthesized corpus. Empty falls back to Name.
 	DataName string
 
-	buildModel   func(scale int, seed int64) *nn.Model
+	buildModel   func(scale int, seed int64, dt tensor.DType) *nn.Model
 	buildDataset func(samples int, seed int64) *data.Dataset
 }
 
-// Model builds a fresh model replica at the given width-reduction scale.
-func (w Workload) Model(scale int, seed int64) *nn.Model { return w.buildModel(scale, seed) }
+// Model builds a fresh float64 model replica at the given width-reduction
+// scale (the historical default precision).
+func (w Workload) Model(scale int, seed int64) *nn.Model {
+	return w.buildModel(scale, seed, tensor.Float64)
+}
+
+// ModelOf is Model at an explicit compute precision.
+func (w Workload) ModelOf(dt tensor.DType, scale int, seed int64) *nn.Model {
+	return w.buildModel(scale, seed, dt)
+}
 
 // EffectiveLR returns the emulation learning rate (EmuLR, falling back to
 // the paper's LR).
@@ -124,9 +133,9 @@ func LSTMWorkload() Workload {
 		EmuLR:          0.05,
 		EmuScale:       8,
 		WireParams:     4_000_000,
-		buildModel: func(scale int, seed int64) *nn.Model {
+		buildModel: func(scale int, seed int64, dt tensor.DType) *nn.Model {
 			return nn.NewRowLSTM(nn.ModelConfig{
-				InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: scale, Seed: seed,
+				InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: scale, Seed: seed, DType: dt,
 			})
 		},
 		buildDataset: func(samples int, seed int64) *data.Dataset {
@@ -146,9 +155,9 @@ func CNNWorkload() Workload {
 		EmuLR:          0.01,
 		EmuScale:       8,
 		WireParams:     WireParamsCNN,
-		buildModel: func(scale int, seed int64) *nn.Model {
+		buildModel: func(scale int, seed int64, dt tensor.DType) *nn.Model {
 			return nn.NewPaperCNN(nn.ModelConfig{
-				InChannels: 1, ImageSize: 28, NumClasses: 47, Scale: scale, Seed: seed,
+				InChannels: 1, ImageSize: 28, NumClasses: 47, Scale: scale, Seed: seed, DType: dt,
 			})
 		},
 		buildDataset: func(samples int, seed int64) *data.Dataset {
@@ -168,9 +177,9 @@ func ResNetWorkload() Workload {
 		EmuLR:          0.02,
 		EmuScale:       16,
 		WireParams:     WireParamsResNet18,
-		buildModel: func(scale int, seed int64) *nn.Model {
+		buildModel: func(scale int, seed int64, dt tensor.DType) *nn.Model {
 			return nn.NewResNet18(nn.ModelConfig{
-				InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: scale, Seed: seed,
+				InChannels: 1, ImageSize: 28, NumClasses: 10, Scale: scale, Seed: seed, DType: dt,
 			})
 		},
 		buildDataset: func(samples int, seed int64) *data.Dataset {
@@ -190,9 +199,9 @@ func DenseNetWorkload() Workload {
 		EmuLR:          0.02,
 		EmuScale:       12,
 		WireParams:     WireParamsDenseNet121,
-		buildModel: func(scale int, seed int64) *nn.Model {
+		buildModel: func(scale int, seed int64, dt tensor.DType) *nn.Model {
 			return nn.NewDenseNet121(nn.ModelConfig{
-				InChannels: 3, ImageSize: 32, NumClasses: 10, Scale: scale, Seed: seed,
+				InChannels: 3, ImageSize: 32, NumClasses: 10, Scale: scale, Seed: seed, DType: dt,
 			})
 		},
 		buildDataset: func(samples int, seed int64) *data.Dataset {

@@ -9,6 +9,7 @@ import (
 	"fedsu/internal/nn"
 	"fedsu/internal/opt"
 	"fedsu/internal/sparse"
+	"fedsu/internal/tensor"
 )
 
 // Client is one federated participant: a private model replica, an
@@ -18,6 +19,7 @@ type Client struct {
 	ID int
 
 	model  *nn.Model
+	dt     tensor.DType
 	opt    *opt.SGD
 	shard  *data.Subset
 	syncer sparse.Syncer
@@ -38,6 +40,7 @@ func NewClient(id int, model *nn.Model, optimizer *opt.SGD, shard *data.Subset, 
 	return &Client{
 		ID:     id,
 		model:  model,
+		dt:     model.DType(),
 		opt:    optimizer,
 		shard:  shard,
 		syncer: syncer,
@@ -73,7 +76,7 @@ func (c *Client) TrainLocal(iters, batchSize int) float64 {
 	}
 	total := 0.0
 	for it := 0; it < iters; it++ {
-		x, labels := c.shard.SampleBatch(c.rng, batchSize)
+		x, labels := c.shard.SampleBatchOf(c.dt, c.rng, batchSize)
 		c.model.ZeroGrad()
 		total += c.model.TrainStep(x, labels)
 		if c.proxMu > 0 {
@@ -85,18 +88,29 @@ func (c *Client) TrainLocal(iters, batchSize int) float64 {
 }
 
 // addProximalGrad accumulates μ(x − x_round) into the parameter gradients.
+// The arithmetic runs at the parameter storage width (the same policy as
+// the SGD update it augments); the float64 anchor values were extracted
+// from the same-width model, so narrowing them back is exact.
 func (c *Client) addProximalGrad() {
 	off := 0
 	for _, p := range c.model.Params() {
-		v := p.Value.Data()
-		g := p.Grad.Data()
-		anchor := c.roundVec[off : off+len(v)]
+		n := p.Value.Len()
 		if !p.NoOpt {
-			for i := range v {
-				g[i] += c.proxMu * (v[i] - anchor[i])
+			anchor := c.roundVec[off : off+n]
+			if c.dt == tensor.Float32 {
+				proximalGrad(tensor.DataOf[float32](p.Value), tensor.DataOf[float32](p.Grad), anchor, float32(c.proxMu)) //lint:allow precision proximal coefficient rounds once at the dispatch boundary
+			} else {
+				proximalGrad(tensor.DataOf[float64](p.Value), tensor.DataOf[float64](p.Grad), anchor, c.proxMu)
 			}
 		}
-		off += len(v)
+		off += n
+	}
+}
+
+// proximalGrad adds mu·(v − anchor) to g at storage width.
+func proximalGrad[E tensor.Elem](v, g []E, anchor []float64, mu E) {
+	for i := range v {
+		g[i] += mu * (v[i] - E(anchor[i])) //lint:allow precision anchor narrows exactly: it was extracted from this same-width model
 	}
 }
 

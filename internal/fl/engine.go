@@ -57,6 +57,14 @@ type Config struct {
 	// default, and the emulation's normal setting — in-process clients
 	// cannot die) keeps blocking barriers.
 	CollectiveDeadline time.Duration
+	// DType declares the compute precision the model builder was configured
+	// for. The engine derives the actual precision from the built replicas
+	// (batches, evaluation, and the optimizer all follow the model's
+	// storage width automatically); a non-zero DType here is a cross-check
+	// that fails engine construction loudly when the builder disagrees,
+	// instead of silently training at the wrong width. The zero value
+	// (tensor.Float64) accepts the historical default.
+	DType tensor.DType
 }
 
 // DefaultConfig returns the paper's training hyper-parameters at a reduced
@@ -170,6 +178,9 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 	}
 
 	probe := builder()
+	if probe.DType() != cfg.DType {
+		return nil, fmt.Errorf("fl: config DType %v but builder produces %v models", cfg.DType, probe.DType())
+	}
 	server := NewServer(cfg.NumClients)
 	if cfg.CollectiveDeadline > 0 {
 		server.SetDeadline(cfg.CollectiveDeadline)
@@ -239,7 +250,7 @@ func (e *Engine) buildEvalSet() {
 		for i := range idx {
 			idx[i] = lo + i
 		}
-		x, labels := e.dataset.Batch(idx)
+		x, labels := e.dataset.BatchOf(e.evalModel.DType(), idx)
 		e.evalX = append(e.evalX, evalBatch{x: x, labels: labels})
 	}
 }

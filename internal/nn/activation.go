@@ -2,24 +2,30 @@ package nn
 
 import "fedsu/internal/tensor"
 
-// ReLU is the rectified-linear activation, applied element-wise.
-type ReLU struct {
+// ReLU is the rectified-linear activation, applied element-wise at the
+// storage width E.
+type ReLU[E tensor.Elem] struct {
 	mask []bool
 }
 
-var _ Layer = (*ReLU)(nil)
+var (
+	_ Layer = (*ReLU[float64])(nil)
+	_ Layer = (*ReLU[float32])(nil)
+)
 
-// NewReLU constructs a ReLU activation layer.
-func NewReLU() *ReLU { return &ReLU{} }
+// NewReLU constructs a float64 ReLU activation layer.
+func NewReLU() *ReLU[float64] { return newReLUOf[float64]() }
+
+func newReLUOf[E tensor.Elem]() *ReLU[E] { return &ReLU[E]{} }
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (r *ReLU[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	y := x.Clone()
 	if cap(r.mask) < y.Len() {
 		r.mask = make([]bool, y.Len())
 	}
 	r.mask = r.mask[:y.Len()]
-	d := y.Data()
+	d := tensor.DataOf[E](y)
 	for i, v := range d {
 		if v > 0 {
 			r.mask[i] = true
@@ -32,9 +38,9 @@ func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *ReLU[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := grad.Clone()
-	d := g.Data()
+	d := tensor.DataOf[E](g)
 	for i := range d {
 		if !r.mask[i] {
 			d[i] = 0
@@ -44,10 +50,11 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLU[E]) Params() []*Param { return nil }
 
 // Flatten reshapes (N, C, H, W) activations to (N, C*H*W) row vectors on the
-// way into fully-connected layers.
+// way into fully-connected layers. It moves no data, so it needs no type
+// parameter: Reshape preserves the dtype of its input.
 type Flatten struct {
 	lastShape []int
 }

@@ -7,17 +7,19 @@ import (
 	"fedsu/internal/tensor"
 )
 
-// BenchmarkConvForwardBackward times one training step of a mid-network
-// convolution (16→32 channels, 3×3, batch 8 at 16×16), the shape class that
-// dominates per-client wall-clock in the emulated runs. allocs/op is the
-// headline number: the im2col/col2im and gate scratch must come from the
-// arena, not the GC.
-func BenchmarkConvForwardBackward(b *testing.B) {
+// benchConvForwardBackward times one training step of a mid-network
+// convolution (16→32 channels, 3×3, batch 8 at 16×16) at the given storage
+// width, the shape class that dominates per-client wall-clock in the
+// emulated runs. allocs/op is the headline number: the im2col/col2im and
+// gate scratch must come from the arena, not the GC. The F32 variant moves
+// half the bytes through the same kernels (BENCH_kernels.json tracks both).
+func benchConvForwardBackward[E tensor.Elem](b *testing.B) {
+	dt := tensor.DTypeOf[E]()
 	rng := rand.New(rand.NewSource(1))
-	conv := NewConv2D(rng, 16, 32, 3, WithPadding(1))
-	x := tensor.New(8, 16, 16, 16)
+	conv := newConv2DOf[E](rng, 16, 32, 3, WithPadding(1))
+	x := tensor.NewOf(dt, 8, 16, 16, 16)
 	x.RandNormal(rng, 0, 1)
-	grad := tensor.New(8, 32, 16, 16)
+	grad := tensor.NewOf(dt, 8, 32, 16, 16)
 	grad.RandNormal(rng, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -27,13 +29,17 @@ func BenchmarkConvForwardBackward(b *testing.B) {
 	}
 }
 
-// BenchmarkLinearForwardBackward times the fully-connected head.
-func BenchmarkLinearForwardBackward(b *testing.B) {
+func BenchmarkConvForwardBackward(b *testing.B)    { benchConvForwardBackward[float64](b) }
+func BenchmarkConvForwardBackwardF32(b *testing.B) { benchConvForwardBackward[float32](b) }
+
+// benchLinearForwardBackward times the fully-connected head.
+func benchLinearForwardBackward[E tensor.Elem](b *testing.B) {
+	dt := tensor.DTypeOf[E]()
 	rng := rand.New(rand.NewSource(1))
-	lin := NewLinear(rng, 512, 128)
-	x := tensor.New(32, 512)
+	lin := newLinearOf[E](rng, 512, 128)
+	x := tensor.NewOf(dt, 32, 512)
 	x.RandNormal(rng, 0, 1)
-	grad := tensor.New(32, 128)
+	grad := tensor.NewOf(dt, 32, 128)
 	grad.RandNormal(rng, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,13 +49,17 @@ func BenchmarkLinearForwardBackward(b *testing.B) {
 	}
 }
 
-// BenchmarkLSTMForwardBackward times a full BPTT step of the row-LSTM cell.
-func BenchmarkLSTMForwardBackward(b *testing.B) {
+func BenchmarkLinearForwardBackward(b *testing.B)    { benchLinearForwardBackward[float64](b) }
+func BenchmarkLinearForwardBackwardF32(b *testing.B) { benchLinearForwardBackward[float32](b) }
+
+// benchLSTMForwardBackward times a full BPTT step of the row-LSTM cell.
+func benchLSTMForwardBackward[E tensor.Elem](b *testing.B) {
+	dt := tensor.DTypeOf[E]()
 	rng := rand.New(rand.NewSource(1))
-	lstm := NewLSTM(rng, 28, 64)
-	x := tensor.New(8, 1, 28, 28)
+	lstm := newLSTMOf[E](rng, 28, 64)
+	x := tensor.NewOf(dt, 8, 1, 28, 28)
 	x.RandNormal(rng, 0, 1)
-	grad := tensor.New(8, 64)
+	grad := tensor.NewOf(dt, 8, 64)
 	grad.RandNormal(rng, 0, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -58,3 +68,6 @@ func BenchmarkLSTMForwardBackward(b *testing.B) {
 		_, _ = h, dx
 	}
 }
+
+func BenchmarkLSTMForwardBackward(b *testing.B)    { benchLSTMForwardBackward[float64](b) }
+func BenchmarkLSTMForwardBackwardF32(b *testing.B) { benchLSTMForwardBackward[float32](b) }

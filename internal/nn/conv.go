@@ -7,8 +7,8 @@ import (
 )
 
 // Conv2D is a 2-D convolution over NCHW tensors, lowered to matrix
-// multiplication via im2col.
-type Conv2D struct {
+// multiplication via im2col, parameterized over the storage width E.
+type Conv2D[E tensor.Elem] struct {
 	weight *Param // (outC, inC*KH*KW)
 	bias   *Param // (outC)
 
@@ -22,33 +22,46 @@ type Conv2D struct {
 	lastOH, lastOW int
 }
 
-var _ Layer = (*Conv2D)(nil)
+var (
+	_ Layer = (*Conv2D[float64])(nil)
+	_ Layer = (*Conv2D[float32])(nil)
+)
+
+// convConfig collects the option-settable construction knobs. Options mutate
+// this dtype-independent struct rather than the generic layer, so one ConvOpt
+// value works for every instantiation width.
+type convConfig struct {
+	p       tensor.ConvParams
+	useBias bool
+}
 
 // ConvOpt customizes a Conv2D at construction time.
-type ConvOpt func(*Conv2D)
+type ConvOpt func(*convConfig)
 
 // WithStride sets both spatial strides.
 func WithStride(s int) ConvOpt {
-	return func(c *Conv2D) { c.p.StrideH, c.p.StrideW = s, s }
+	return func(c *convConfig) { c.p.StrideH, c.p.StrideW = s, s }
 }
 
 // WithPadding sets both spatial paddings.
 func WithPadding(p int) ConvOpt {
-	return func(c *Conv2D) { c.p.PadH, c.p.PadW = p, p }
+	return func(c *convConfig) { c.p.PadH, c.p.PadW = p, p }
 }
 
 // WithoutBias disables the additive bias, the norm for conv layers followed
 // by batch normalization.
 func WithoutBias() ConvOpt {
-	return func(c *Conv2D) { c.useBias = false }
+	return func(c *convConfig) { c.useBias = false }
 }
 
-// NewConv2D constructs a convolution with a square kernel and He-normal
-// weight initialization. Stride defaults to 1 and padding to 0.
-func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D {
-	c := &Conv2D{
-		inC:     inC,
-		outC:    outC,
+// NewConv2D constructs a float64 convolution with a square kernel and
+// He-normal weight initialization. Stride defaults to 1 and padding to 0.
+func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D[float64] {
+	return newConv2DOf[float64](rng, inC, outC, kernel, opts...)
+}
+
+func newConv2DOf[E tensor.Elem](rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D[E] {
+	cfg := convConfig{
 		useBias: true,
 		p: tensor.ConvParams{
 			KernelH: kernel, KernelW: kernel,
@@ -56,13 +69,19 @@ func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D {
 		},
 	}
 	for _, o := range opts {
-		o(c)
+		o(&cfg)
+	}
+	c := &Conv2D[E]{
+		inC:     inC,
+		outC:    outC,
+		useBias: cfg.useBias,
+		p:       cfg.p,
 	}
 	k := inC * kernel * kernel
-	c.weight = newParam("weight", outC, k)
+	c.weight = newParamOf[E]("weight", outC, k)
 	c.weight.Value.KaimingNormal(rng, k)
 	if c.useBias {
-		c.bias = newParam("bias", outC)
+		c.bias = newParamOf[E]("bias", outC)
 	}
 	return c
 }
@@ -71,7 +90,8 @@ func NewConv2D(rng *rand.Rand, inC, outC, kernel int, opts ...ConvOpt) *Conv2D {
 // are drawn from the scratch arena: the former is retained (Backward
 // consumes then releases it), the latter is returned before Forward exits,
 // so steady-state training allocates only the NCHW output.
-func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (c *Conv2D[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	dt := tensor.DTypeOf[E]()
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.p.OutSize(h, w)
 	spatial := n * oh * ow
@@ -80,16 +100,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if c.lastCols != nil {
 		tensor.PutScratch(c.lastCols)
 	}
-	cols := tensor.GetScratch(c.inC*c.p.KernelH*c.p.KernelW, spatial)
+	cols := tensor.GetScratchOf(dt, c.inC*c.p.KernelH*c.p.KernelW, spatial)
 	tensor.Im2ColInto(cols, x, c.p)
 	c.lastCols = cols
 	c.lastN, c.lastH, c.lastW, c.lastOH, c.lastOW = n, h, w, oh, ow
 
-	y := tensor.GetScratch(c.outC, spatial) // (outC, N*OH*OW)
+	y := tensor.GetScratchOf(dt, c.outC, spatial) // (outC, N*OH*OW)
 	tensor.MatMulInto(y, c.weight.Value, cols)
 	if c.useBias {
-		bd := c.bias.Value.Data()
-		yd := y.Data()
+		bd := tensor.DataOf[E](c.bias.Value)
+		yd := tensor.DataOf[E](y)
 		for oc := 0; oc < c.outC; oc++ {
 			row := yd[oc*spatial : (oc+1)*spatial]
 			b := bd[oc]
@@ -99,8 +119,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		}
 	}
 	// Reorder (outC, N, OH, OW) → (N, outC, OH, OW).
-	out := tensor.New(n, c.outC, oh, ow)
-	od, yd := out.Data(), y.Data()
+	out := tensor.NewOf(dt, n, c.outC, oh, ow)
+	od, yd := tensor.DataOf[E](out), tensor.DataOf[E](y)
 	plane := oh * ow
 	for oc := 0; oc < c.outC; oc++ {
 		for ni := 0; ni < n; ni++ {
@@ -116,13 +136,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer. All intermediates (the reordered gradient, the
 // column gradient, and the retained im2col matrix) live in the scratch
 // arena; only the returned input gradient is allocated.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2D[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dt := tensor.DTypeOf[E]()
 	n, oh, ow := c.lastN, c.lastOH, c.lastOW
 	plane := oh * ow
 	spatial := n * plane
 	// Reorder grad (N, outC, OH, OW) → (outC, N*OH*OW).
-	g := tensor.GetScratch(c.outC, spatial)
-	gd, srcd := g.Data(), grad.Data()
+	g := tensor.GetScratchOf(dt, c.outC, spatial)
+	gd, srcd := tensor.DataOf[E](g), tensor.DataOf[E](grad)
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.outC; oc++ {
 			src := srcd[(ni*c.outC+oc)*plane : (ni*c.outC+oc+1)*plane]
@@ -133,18 +154,20 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW += g × colsᵀ; cols is (K, spatial) so use the TransB accumulator.
 	tensor.MatMulTransBAcc(c.weight.Grad, g, c.lastCols)
 	if c.useBias {
-		bd := c.bias.Grad.Data()
+		// The bias gradient sums N*OH*OW terms per channel: widen to a
+		// float64 accumulator and round once into the stored gradient.
+		bd := tensor.DataOf[E](c.bias.Grad)
 		for oc := 0; oc < c.outC; oc++ {
 			row := gd[oc*spatial : (oc+1)*spatial]
 			s := 0.0
 			for _, v := range row {
-				s += v
+				s += toF64(v)
 			}
-			bd[oc] += s
+			bd[oc] += roundE[E](s)
 		}
 	}
 	// dCols = Wᵀ × g, W stored (outC, K): MatMulTransA.
-	dCols := tensor.GetScratch(c.inC*c.p.KernelH*c.p.KernelW, spatial)
+	dCols := tensor.GetScratchOf(dt, c.inC*c.p.KernelH*c.p.KernelW, spatial)
 	tensor.MatMulTransAInto(dCols, c.weight.Value, g)
 	tensor.PutScratch(g)
 	// The cached im2col matrix is the layer's dominant memory holding
@@ -159,7 +182,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (c *Conv2D) Params() []*Param {
+func (c *Conv2D[E]) Params() []*Param {
 	if c.useBias {
 		return []*Param{c.weight, c.bias}
 	}

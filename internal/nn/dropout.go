@@ -9,24 +9,36 @@ import (
 // Dropout randomly zeroes activations during training with probability p,
 // scaling the survivors by 1/(1−p) (inverted dropout) so inference needs no
 // adjustment.
-type Dropout struct {
+//
+// The mask draws consume rng.Float64() regardless of the storage width, so a
+// float32 and a float64 replica sharing a seed drop the same elements; the
+// survivor scaling computes in float64 and rounds once per element.
+type Dropout[E tensor.Elem] struct {
 	p    float64
 	rng  *rand.Rand
 	keep []bool
 }
 
-var _ Layer = (*Dropout)(nil)
+var (
+	_ Layer = (*Dropout[float64])(nil)
+	_ Layer = (*Dropout[float32])(nil)
+)
 
-// NewDropout constructs a dropout layer with drop probability p ∈ [0, 1).
-func NewDropout(rng *rand.Rand, p float64) *Dropout {
+// NewDropout constructs a float64 dropout layer with drop probability
+// p ∈ [0, 1).
+func NewDropout(rng *rand.Rand, p float64) *Dropout[float64] {
+	return newDropoutOf[float64](rng, p)
+}
+
+func newDropoutOf[E tensor.Elem](rng *rand.Rand, p float64) *Dropout[E] {
 	if p < 0 || p >= 1 {
 		panic("nn: dropout probability must be in [0, 1)")
 	}
-	return &Dropout{p: p, rng: rng}
+	return &Dropout[E]{p: p, rng: rng}
 }
 
 // Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dropout[E]) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.p == 0 {
 		return x
 	}
@@ -36,30 +48,30 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	d.keep = d.keep[:y.Len()]
 	scale := 1.0 / (1.0 - d.p)
-	data := y.Data()
+	data := tensor.DataOf[E](y)
 	for i := range data {
 		if d.rng.Float64() < d.p {
 			d.keep[i] = false
 			data[i] = 0
 		} else {
 			d.keep[i] = true
-			data[i] *= scale
+			data[i] = roundE[E](toF64(data[i]) * scale)
 		}
 	}
 	return y
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *Dropout[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.p == 0 {
 		return grad
 	}
 	g := grad.Clone()
 	scale := 1.0 / (1.0 - d.p)
-	data := g.Data()
+	data := tensor.DataOf[E](g)
 	for i := range data {
 		if d.keep[i] {
-			data[i] *= scale
+			data[i] = roundE[E](toF64(data[i]) * scale)
 		} else {
 			data[i] = 0
 		}
@@ -68,4 +80,4 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (d *Dropout) Params() []*Param { return nil }
+func (d *Dropout[E]) Params() []*Param { return nil }

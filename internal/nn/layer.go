@@ -29,11 +29,14 @@ type Param struct {
 	NoOpt bool
 }
 
-func newParam(name string, shape ...int) *Param {
+// newParamOf constructs a parameter at the storage width of the enclosing
+// layer's instantiation; value and gradient always share one dtype.
+func newParamOf[E tensor.Elem](name string, shape ...int) *Param {
+	dt := tensor.DTypeOf[E]()
 	return &Param{
 		Name:  name,
-		Value: tensor.New(shape...),
-		Grad:  tensor.New(shape...),
+		Value: tensor.NewOf(dt, shape...),
+		Grad:  tensor.NewOf(dt, shape...),
 	}
 }
 

@@ -7,8 +7,9 @@ import (
 )
 
 // Linear is a fully-connected layer computing y = xW + b over batched row
-// vectors: x is (N, in), W is (in, out), b is (out).
-type Linear struct {
+// vectors: x is (N, in), W is (in, out), b is (out). The type parameter
+// selects the storage and compute width of its parameters and activations.
+type Linear[E tensor.Elem] struct {
 	weight *Param
 	bias   *Param
 
@@ -16,13 +17,21 @@ type Linear struct {
 	lastX   *tensor.Tensor
 }
 
-var _ Layer = (*Linear)(nil)
+var (
+	_ Layer = (*Linear[float64])(nil)
+	_ Layer = (*Linear[float32])(nil)
+)
 
-// NewLinear constructs a fully-connected layer with Xavier-uniform weights.
-func NewLinear(rng *rand.Rand, in, out int) *Linear {
-	l := &Linear{
-		weight: newParam("weight", in, out),
-		bias:   newParam("bias", out),
+// NewLinear constructs a float64 fully-connected layer with Xavier-uniform
+// weights, the historical default width.
+func NewLinear(rng *rand.Rand, in, out int) *Linear[float64] {
+	return newLinearOf[float64](rng, in, out)
+}
+
+func newLinearOf[E tensor.Elem](rng *rand.Rand, in, out int) *Linear[E] {
+	l := &Linear[E]{
+		weight: newParamOf[E]("weight", in, out),
+		bias:   newParamOf[E]("bias", out),
 		in:     in,
 		out:    out,
 	}
@@ -31,19 +40,19 @@ func NewLinear(rng *rand.Rand, in, out int) *Linear {
 }
 
 // In returns the input feature count.
-func (l *Linear) In() int { return l.in }
+func (l *Linear[E]) In() int { return l.in }
 
 // Out returns the output feature count.
-func (l *Linear) Out() int { return l.out }
+func (l *Linear[E]) Out() int { return l.out }
 
 // Forward implements Layer.
-func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (l *Linear[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n := x.Dim(0)
 	x2 := x.Reshape(n, x.Len()/n)
 	l.lastX = x2
 	y := tensor.MatMul(x2, l.weight.Value)
-	bd := l.bias.Value.Data()
-	yd := y.Data()
+	bd := tensor.DataOf[E](l.bias.Value)
+	yd := tensor.DataOf[E](y)
 	for i := 0; i < n; i++ {
 		row := yd[i*l.out : (i+1)*l.out]
 		for j := range row {
@@ -54,13 +63,14 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (l *Linear[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	// dW += xᵀ × grad, accumulated in place (no temporary + Add pass).
 	tensor.MatMulTransAAcc(l.weight.Grad, l.lastX, grad)
-	// db = column sums of grad
-	gd := grad.Data()
-	bd := l.bias.Grad.Data()
+	// db = column sums of grad, accumulated at storage width — the same
+	// accumulator policy as dW, whose matmul accumulates in E.
+	gd := tensor.DataOf[E](grad)
+	bd := tensor.DataOf[E](l.bias.Grad)
 	for i := 0; i < n; i++ {
 		row := gd[i*l.out : (i+1)*l.out]
 		for j := range row {
@@ -72,4 +82,4 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (l *Linear) Params() []*Param { return []*Param{l.weight, l.bias} }
+func (l *Linear[E]) Params() []*Param { return []*Param{l.weight, l.bias} }

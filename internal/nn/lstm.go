@@ -22,7 +22,12 @@ import (
 // when the (batch, timesteps) geometry changes, and the per-step
 // pre-activation/gradient temporaries come from the tensor scratch arena,
 // so a steady-state training step allocates almost nothing.
-type LSTM struct {
+//
+// Gate math (sigmoid/tanh and the cell update) computes in float64 at
+// either storage width and rounds once per stored activation; the matmul
+// pre-activations and parameter gradients accumulate at storage width like
+// every other matmul in the stack.
+type LSTM[E tensor.Elem] struct {
 	wx *Param // (D, 4H), gate order: input, forget, cell, output
 	wh *Param // (H, 4H)
 	b  *Param // (4H)
@@ -36,33 +41,41 @@ type LSTM struct {
 	xSteps         []*tensor.Tensor
 	hStates        []*tensor.Tensor
 	cStates        []*tensor.Tensor
-	gates          []float64
+	gates          []E
 	cacheN, cacheT int
 }
 
-var _ Layer = (*LSTM)(nil)
+var (
+	_ Layer = (*LSTM[float64])(nil)
+	_ Layer = (*LSTM[float32])(nil)
+)
 
-// NewLSTM constructs an LSTM over inDim features per step with the given
-// hidden width. The forget-gate bias starts at 1, the standard trick that
-// keeps early memory open.
-func NewLSTM(rng *rand.Rand, inDim, hidden int) *LSTM {
-	l := &LSTM{
-		wx:     newParam("wx", inDim, 4*hidden),
-		wh:     newParam("wh", hidden, 4*hidden),
-		b:      newParam("b", 4*hidden),
+// NewLSTM constructs a float64 LSTM over inDim features per step with the
+// given hidden width. The forget-gate bias starts at 1, the standard trick
+// that keeps early memory open.
+func NewLSTM(rng *rand.Rand, inDim, hidden int) *LSTM[float64] {
+	return newLSTMOf[float64](rng, inDim, hidden)
+}
+
+func newLSTMOf[E tensor.Elem](rng *rand.Rand, inDim, hidden int) *LSTM[E] {
+	l := &LSTM[E]{
+		wx:     newParamOf[E]("wx", inDim, 4*hidden),
+		wh:     newParamOf[E]("wh", hidden, 4*hidden),
+		b:      newParamOf[E]("b", 4*hidden),
 		inDim:  inDim,
 		hidden: hidden,
 	}
 	l.wx.Value.XavierUniform(rng, inDim, 4*hidden)
 	l.wh.Value.XavierUniform(rng, hidden, 4*hidden)
+	bd := tensor.DataOf[E](l.b.Value)
 	for j := hidden; j < 2*hidden; j++ {
-		l.b.Value.Data()[j] = 1
+		bd[j] = 1
 	}
 	return l
 }
 
 // Hidden returns the hidden-state width.
-func (l *LSTM) Hidden() int { return l.hidden }
+func (l *LSTM[E]) Hidden() int { return l.hidden }
 
 func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 
@@ -70,30 +83,30 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // sequences of `steps` timesteps. The initial h_0/c_0 states are zeroed at
 // build time and are never written afterwards, so rebuilding is only needed
 // when the geometry changes.
-func (l *LSTM) ensureCaches(n, steps int) {
+func (l *LSTM[E]) ensureCaches(n, steps int) {
 	if l.cacheN == n && l.cacheT == steps {
 		return
 	}
 	l.cacheN, l.cacheT = n, steps
 	nh := n * l.hidden
-	xBuf := make([]float64, steps*n*l.inDim)
-	hBuf := make([]float64, (steps+1)*nh)
-	cBuf := make([]float64, (steps+1)*nh)
+	xBuf := make([]E, steps*n*l.inDim)
+	hBuf := make([]E, (steps+1)*nh)
+	cBuf := make([]E, (steps+1)*nh)
 	l.xSteps = l.xSteps[:0]
 	l.hStates = l.hStates[:0]
 	l.cStates = l.cStates[:0]
 	for t := 0; t < steps; t++ {
-		l.xSteps = append(l.xSteps, tensor.FromSlice(xBuf[t*n*l.inDim:(t+1)*n*l.inDim], n, l.inDim))
+		l.xSteps = append(l.xSteps, tensor.FromSliceOf(xBuf[t*n*l.inDim:(t+1)*n*l.inDim], n, l.inDim))
 	}
 	for t := 0; t <= steps; t++ {
-		l.hStates = append(l.hStates, tensor.FromSlice(hBuf[t*nh:(t+1)*nh], n, l.hidden))
-		l.cStates = append(l.cStates, tensor.FromSlice(cBuf[t*nh:(t+1)*nh], n, l.hidden))
+		l.hStates = append(l.hStates, tensor.FromSliceOf(hBuf[t*nh:(t+1)*nh], n, l.hidden))
+		l.cStates = append(l.cStates, tensor.FromSliceOf(cBuf[t*nh:(t+1)*nh], n, l.hidden))
 	}
-	l.gates = make([]float64, 5*steps*nh)
+	l.gates = make([]E, 5*steps*nh)
 }
 
 // gateSlices returns the i, f, g, o, tanh(c) blocks for step t.
-func (l *LSTM) gateSlices(t int) (iv, fv, gv, ov, tc []float64) {
+func (l *LSTM[E]) gateSlices(t int) (iv, fv, gv, ov, tc []E) {
 	nh := l.cacheN * l.hidden
 	base := 5 * t * nh
 	return l.gates[base : base+nh],
@@ -104,7 +117,7 @@ func (l *LSTM) gateSlices(t int) (iv, fv, gv, ov, tc []float64) {
 }
 
 // Forward implements Layer.
-func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (l *LSTM[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, steps, d := x.Dim(0), x.Dim(2), x.Dim(3)
 	if x.Dim(1) != 1 {
 		panic("nn: LSTM expects single-channel (N, 1, T, D) input")
@@ -114,40 +127,42 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	l.ensureCaches(n, steps)
 
-	z := tensor.GetScratch(n, 4*l.hidden)
-	xd := x.Data()
-	bd := l.b.Value.Data()
+	z := tensor.GetScratchOf(tensor.DTypeOf[E](), n, 4*l.hidden)
+	xd := tensor.DataOf[E](x)
+	bd := tensor.DataOf[E](l.b.Value)
 	H := l.hidden
 
 	for t := 0; t < steps; t++ {
 		// Slice step t into the cached (N, D) matrix.
 		xt := l.xSteps[t]
+		xtd := tensor.DataOf[E](xt)
 		for ni := 0; ni < n; ni++ {
 			src := xd[(ni*steps+t)*d : (ni*steps+t+1)*d]
-			copy(xt.Data()[ni*d:(ni+1)*d], src)
+			copy(xtd[ni*d:(ni+1)*d], src)
 		}
 		h, c := l.hStates[t], l.cStates[t]
 		tensor.MatMulInto(z, xt, l.wx.Value)
 		tensor.MatMulAcc(z, h, l.wh.Value) // z += h × Wh, no temporary
-		zd := z.Data()
+		zd := tensor.DataOf[E](z)
+		cd := tensor.DataOf[E](c)
 		si, sf, sg, so, stc := l.gateSlices(t)
-		newC := l.cStates[t+1]
-		newH := l.hStates[t+1]
+		newCd := tensor.DataOf[E](l.cStates[t+1])
+		newHd := tensor.DataOf[E](l.hStates[t+1])
 		for ni := 0; ni < n; ni++ {
 			zr := zd[ni*4*H : (ni+1)*4*H]
-			cPrev := c.Data()[ni*H : (ni+1)*H]
+			cPrev := cd[ni*H : (ni+1)*H]
 			for j := 0; j < H; j++ {
-				iv := sigmoid(zr[j] + bd[j])
-				fv := sigmoid(zr[H+j] + bd[H+j])
-				gv := math.Tanh(zr[2*H+j] + bd[2*H+j])
-				ov := sigmoid(zr[3*H+j] + bd[3*H+j])
-				cv := fv*cPrev[j] + iv*gv
+				iv := sigmoid(toF64(zr[j]) + toF64(bd[j]))
+				fv := sigmoid(toF64(zr[H+j]) + toF64(bd[H+j]))
+				gv := math.Tanh(toF64(zr[2*H+j]) + toF64(bd[2*H+j]))
+				ov := sigmoid(toF64(zr[3*H+j]) + toF64(bd[3*H+j]))
+				cv := fv*toF64(cPrev[j]) + iv*gv
 				tc := math.Tanh(cv)
 				idx := ni*H + j
-				si[idx], sf[idx], sg[idx], so[idx] = iv, fv, gv, ov
-				stc[idx] = tc
-				newC.Data()[idx] = cv
-				newH.Data()[idx] = ov * tc
+				si[idx], sf[idx], sg[idx], so[idx] = roundE[E](iv), roundE[E](fv), roundE[E](gv), roundE[E](ov)
+				stc[idx] = roundE[E](tc)
+				newCd[idx] = roundE[E](cv)
+				newHd[idx] = roundE[E](ov * tc)
 			}
 		}
 	}
@@ -159,43 +174,47 @@ func (l *LSTM) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer, running BPTT from the final-hidden-state
 // gradient back to the input sequence.
-func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (l *LSTM[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, H, D := l.cacheN, l.hidden, l.inDim
 	steps := l.cacheT
-	dx := tensor.New(n, 1, steps, D)
+	dt := tensor.DTypeOf[E]()
+	dx := tensor.NewOf(dt, n, 1, steps, D)
+	dxd := tensor.DataOf[E](dx)
 
-	dh := tensor.GetScratch(n, H)
+	dh := tensor.GetScratchOf(dt, n, H)
 	dh.CopyFrom(grad)
-	dhNext := tensor.GetScratch(n, H)
-	dc := tensor.GetScratch(n, H)
+	dhNext := tensor.GetScratchOf(dt, n, H)
+	dc := tensor.GetScratchOf(dt, n, H)
 	dc.Zero()
-	dz := tensor.GetScratch(n, 4*H)
-	dxt := tensor.GetScratch(n, D)
-	bg := l.b.Grad.Data()
+	dz := tensor.GetScratchOf(dt, n, 4*H)
+	dxt := tensor.GetScratchOf(dt, n, D)
+	dxtd := tensor.DataOf[E](dxt)
+	bg := tensor.DataOf[E](l.b.Grad)
 
 	for t := steps - 1; t >= 0; t-- {
 		si, sf, sg, so, stc := l.gateSlices(t)
-		dhd, dcd, dzd := dh.Data(), dc.Data(), dz.Data()
-		cPrev := l.cStates[t].Data()
+		dhd, dcd, dzd := tensor.DataOf[E](dh), tensor.DataOf[E](dc), tensor.DataOf[E](dz)
+		cPrev := tensor.DataOf[E](l.cStates[t])
 		for ni := 0; ni < n; ni++ {
 			for j := 0; j < H; j++ {
 				idx := ni*H + j
-				iv, fv, gv, ov := si[idx], sf[idx], sg[idx], so[idx]
-				tc := stc[idx]
-				dcTotal := dcd[idx] + dhd[idx]*ov*(1-tc*tc)
-				do := dhd[idx] * tc
+				iv, fv, gv, ov := toF64(si[idx]), toF64(sf[idx]), toF64(sg[idx]), toF64(so[idx])
+				tc := toF64(stc[idx])
+				dcTotal := toF64(dcd[idx]) + toF64(dhd[idx])*ov*(1-tc*tc)
+				do := toF64(dhd[idx]) * tc
 				di := dcTotal * gv
-				df := dcTotal * cPrev[idx]
+				df := dcTotal * toF64(cPrev[idx])
 				dg := dcTotal * iv
 				zr := dzd[ni*4*H : (ni+1)*4*H]
-				zr[j] = di * iv * (1 - iv)
-				zr[H+j] = df * fv * (1 - fv)
-				zr[2*H+j] = dg * (1 - gv*gv)
-				zr[3*H+j] = do * ov * (1 - ov)
-				dcd[idx] = dcTotal * fv // flows to c_{t-1}
+				zr[j] = roundE[E](di * iv * (1 - iv))
+				zr[H+j] = roundE[E](df * fv * (1 - fv))
+				zr[2*H+j] = roundE[E](dg * (1 - gv*gv))
+				zr[3*H+j] = roundE[E](do * ov * (1 - ov))
+				dcd[idx] = roundE[E](dcTotal * fv) // flows to c_{t-1}
 			}
 		}
-		// Parameter gradients, accumulated in place.
+		// Parameter gradients, accumulated in place. The bias gradient sums
+		// at storage width, the same accumulator policy as the wx/wh matmuls.
 		tensor.MatMulTransAAcc(l.wx.Grad, l.xSteps[t], dz)
 		tensor.MatMulTransAAcc(l.wh.Grad, l.hStates[t], dz)
 		for ni := 0; ni < n; ni++ {
@@ -207,8 +226,8 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		// Input and previous-hidden gradients.
 		tensor.MatMulTransBInto(dxt, dz, l.wx.Value) // (N, D)
 		for ni := 0; ni < n; ni++ {
-			dst := dx.Data()[(ni*steps+t)*D : (ni*steps+t+1)*D]
-			copy(dst, dxt.Data()[ni*D:(ni+1)*D])
+			dst := dxd[(ni*steps+t)*D : (ni*steps+t+1)*D]
+			copy(dst, dxtd[ni*D:(ni+1)*D])
 		}
 		tensor.MatMulTransBInto(dhNext, dz, l.wh.Value) // (N, H)
 		dh, dhNext = dhNext, dh
@@ -222,19 +241,27 @@ func (l *LSTM) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
+func (l *LSTM[E]) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }
 
 // NewRowLSTM builds a sequence classifier that reads each image row as one
-// timestep — the classic "row LSTM" benchmark — followed by a linear head.
+// timestep — the classic "row LSTM" benchmark — followed by a linear head,
+// at the precision cfg.DType selects.
 func NewRowLSTM(cfg ModelConfig) *Model {
+	if cfg.DType == tensor.Float32 {
+		return buildRowLSTM[float32](cfg)
+	}
+	return buildRowLSTM[float64](cfg)
+}
+
+func buildRowLSTM[E tensor.Elem](cfg ModelConfig) *Model {
 	if cfg.InChannels != 1 {
 		panic("nn: NewRowLSTM requires single-channel input")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	hidden := cfg.scaled(128)
 	seq := NewSequential(
-		NewLSTM(rng, cfg.ImageSize, hidden),
-		NewLinear(rng, hidden, cfg.NumClasses),
+		newLSTMOf[E](rng, cfg.ImageSize, hidden),
+		newLinearOf[E](rng, hidden, cfg.NumClasses),
 	)
 	m := NewModel("lstm", seq, cfg.NumClasses)
 	namePrefix(m)

@@ -1,0 +1,33 @@
+package nn
+
+import "fedsu/internal/tensor"
+
+// Precision policy for the generic layers (see DESIGN.md, "Precision"):
+//
+//   - Element-wise kernels (bias add, ReLU masking, gradient scatter into
+//     same-width buffers) run at storage width E, like the tensor package's
+//     matmul accumulators.
+//   - Reductions over O(n) terms (batch statistics, pooling sums, the
+//     conv bias gradient, the loss) widen each term to float64 through
+//     toF64, accumulate at full width, and round the result once through
+//     roundE.
+//   - Transcendentals (exp, tanh, sigmoid) always compute in float64 —
+//     package math only offers float64 — and round once per output element.
+//
+// At E = float64 both helpers are the identity conversion, so the generic
+// bodies execute the exact historical operation sequence and the default
+// path stays bit-identical to the pre-generic implementation.
+//
+// These two helpers are the only sanctioned storage↔accumulator crossings
+// in this package; the precision lint analyzer flags conversions written
+// anywhere else in a kernel body.
+
+// toF64 widens a storage element to float64; exact at both widths.
+func toF64[E tensor.Elem](v E) float64 {
+	return float64(v) //lint:allow precision exact widening helper, the sanctioned read crossing
+}
+
+// roundE rounds a float64 intermediate to storage width, once.
+func roundE[E tensor.Elem](v float64) E {
+	return E(v) //lint:allow precision single-rounding helper, the sanctioned write crossing
+}

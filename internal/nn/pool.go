@@ -6,36 +6,45 @@ import (
 	"fedsu/internal/tensor"
 )
 
-// MaxPool2D is a max-pooling layer over NCHW tensors.
-type MaxPool2D struct {
+// MaxPool2D is a max-pooling layer over NCHW tensors. Window comparisons
+// happen on exactly-widened float64 values, so the selected element (and its
+// argmax index) is identical to a storage-width comparison at either E.
+type MaxPool2D[E tensor.Elem] struct {
 	p tensor.ConvParams
 
 	argmax    []int // flat input index chosen for each output element
 	lastShape []int
 }
 
-var _ Layer = (*MaxPool2D)(nil)
+var (
+	_ Layer = (*MaxPool2D[float64])(nil)
+	_ Layer = (*MaxPool2D[float32])(nil)
+)
 
-// NewMaxPool2D constructs a square max-pool with the given window and
-// stride. The common "pool 2" is NewMaxPool2D(2, 2).
-func NewMaxPool2D(window, stride int) *MaxPool2D {
-	return &MaxPool2D{p: tensor.ConvParams{
+// NewMaxPool2D constructs a square float64 max-pool with the given window
+// and stride. The common "pool 2" is NewMaxPool2D(2, 2).
+func NewMaxPool2D(window, stride int) *MaxPool2D[float64] {
+	return newMaxPool2DOf[float64](window, stride)
+}
+
+func newMaxPool2DOf[E tensor.Elem](window, stride int) *MaxPool2D[E] {
+	return &MaxPool2D[E]{p: tensor.ConvParams{
 		KernelH: window, KernelW: window,
 		StrideH: stride, StrideW: stride,
 	}}
 }
 
 // Forward implements Layer.
-func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (m *MaxPool2D[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := m.p.OutSize(h, w)
 	m.lastShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	out := tensor.NewOf(tensor.DTypeOf[E](), n, c, oh, ow)
 	if cap(m.argmax) < out.Len() {
 		m.argmax = make([]int, out.Len())
 	}
 	m.argmax = m.argmax[:out.Len()]
-	xd, od := x.Data(), out.Data()
+	xd, od := tensor.DataOf[E](x), tensor.DataOf[E](out)
 	oi := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -54,12 +63,12 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 								continue
 							}
 							idx := base + iy*w + ix
-							if xd[idx] > best {
-								best, bidx = xd[idx], idx
+							if v := toF64(xd[idx]); v > best {
+								best, bidx = v, idx
 							}
 						}
 					}
-					od[oi] = best
+					od[oi] = roundE[E](best) // exact: best is a widened element
 					m.argmax[oi] = bidx
 					oi++
 				}
@@ -70,9 +79,9 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.lastShape...)
-	dd, gd := dx.Data(), grad.Data()
+func (m *MaxPool2D[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.NewOf(tensor.DTypeOf[E](), m.lastShape...)
+	dd, gd := tensor.DataOf[E](dx), tensor.DataOf[E](grad)
 	for oi, idx := range m.argmax {
 		dd[idx] += gd[oi]
 	}
@@ -80,33 +89,41 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (m *MaxPool2D) Params() []*Param { return nil }
+func (m *MaxPool2D[E]) Params() []*Param { return nil }
 
-// AvgPool2D is an average-pooling layer over NCHW tensors.
-type AvgPool2D struct {
+// AvgPool2D is an average-pooling layer over NCHW tensors; window sums
+// accumulate in float64 and round once per output element.
+type AvgPool2D[E tensor.Elem] struct {
 	p         tensor.ConvParams
 	lastShape []int
 }
 
-var _ Layer = (*AvgPool2D)(nil)
+var (
+	_ Layer = (*AvgPool2D[float64])(nil)
+	_ Layer = (*AvgPool2D[float32])(nil)
+)
 
-// NewAvgPool2D constructs a square average pool with the given window and
-// stride.
-func NewAvgPool2D(window, stride int) *AvgPool2D {
-	return &AvgPool2D{p: tensor.ConvParams{
+// NewAvgPool2D constructs a square float64 average pool with the given
+// window and stride.
+func NewAvgPool2D(window, stride int) *AvgPool2D[float64] {
+	return newAvgPool2DOf[float64](window, stride)
+}
+
+func newAvgPool2DOf[E tensor.Elem](window, stride int) *AvgPool2D[E] {
+	return &AvgPool2D[E]{p: tensor.ConvParams{
 		KernelH: window, KernelW: window,
 		StrideH: stride, StrideW: stride,
 	}}
 }
 
 // Forward implements Layer.
-func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (a *AvgPool2D[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := a.p.OutSize(h, w)
 	a.lastShape = x.Shape()
-	out := tensor.New(n, c, oh, ow)
+	out := tensor.NewOf(tensor.DTypeOf[E](), n, c, oh, ow)
 	inv := 1.0 / float64(a.p.KernelH*a.p.KernelW)
-	xd, od := x.Data(), out.Data()
+	xd, od := tensor.DataOf[E](x), tensor.DataOf[E](out)
 	oi := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -118,10 +135,10 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 						iy := oy*a.p.StrideH + ky
 						for kx := 0; kx < a.p.KernelW; kx++ {
 							ix := ox*a.p.StrideW + kx
-							s += xd[base+iy*w+ix]
+							s += toF64(xd[base+iy*w+ix])
 						}
 					}
-					od[oi] = s * inv
+					od[oi] = roundE[E](s * inv)
 					oi++
 				}
 			}
@@ -131,19 +148,19 @@ func (a *AvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (a *AvgPool2D[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := a.lastShape[0], a.lastShape[1], a.lastShape[2], a.lastShape[3]
 	oh, ow := a.p.OutSize(h, w)
-	dx := tensor.New(a.lastShape...)
+	dx := tensor.NewOf(tensor.DTypeOf[E](), a.lastShape...)
 	inv := 1.0 / float64(a.p.KernelH*a.p.KernelW)
-	dd, gd := dx.Data(), grad.Data()
+	dd, gd := tensor.DataOf[E](dx), tensor.DataOf[E](grad)
 	oi := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			base := (ni*c + ci) * h * w
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					g := gd[oi] * inv
+					g := roundE[E](toF64(gd[oi]) * inv)
 					for ky := 0; ky < a.p.KernelH; ky++ {
 						iy := oy*a.p.StrideH + ky
 						for kx := 0; kx < a.p.KernelW; kx++ {
@@ -160,44 +177,54 @@ func (a *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (a *AvgPool2D) Params() []*Param { return nil }
+func (a *AvgPool2D[E]) Params() []*Param { return nil }
 
 // GlobalAvgPool2D reduces each (H, W) plane to its mean, producing (N, C)
 // feature vectors; it is the classifier head pooling in ResNet and DenseNet.
-type GlobalAvgPool2D struct {
+// Plane sums accumulate in float64 like AvgPool2D.
+type GlobalAvgPool2D[E tensor.Elem] struct {
 	lastShape []int
 }
 
-var _ Layer = (*GlobalAvgPool2D)(nil)
+var (
+	_ Layer = (*GlobalAvgPool2D[float64])(nil)
+	_ Layer = (*GlobalAvgPool2D[float32])(nil)
+)
 
-// NewGlobalAvgPool2D constructs a global average pool.
-func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+// NewGlobalAvgPool2D constructs a float64 global average pool.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D[float64] {
+	return newGlobalAvgPool2DOf[float64]()
+}
+
+func newGlobalAvgPool2DOf[E tensor.Elem]() *GlobalAvgPool2D[E] {
+	return &GlobalAvgPool2D[E]{}
+}
 
 // Forward implements Layer.
-func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+func (g *GlobalAvgPool2D[E]) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	g.lastShape = x.Shape()
-	out := tensor.New(n, c)
+	out := tensor.NewOf(tensor.DTypeOf[E](), n, c)
 	inv := 1.0 / float64(h*w)
-	xd, od := x.Data(), out.Data()
+	xd, od := tensor.DataOf[E](x), tensor.DataOf[E](out)
 	for i := 0; i < n*c; i++ {
 		s := 0.0
 		for _, v := range xd[i*h*w : (i+1)*h*w] {
-			s += v
+			s += toF64(v)
 		}
-		od[i] = s * inv
+		od[i] = roundE[E](s * inv)
 	}
 	return out
 }
 
 // Backward implements Layer.
-func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (g *GlobalAvgPool2D[E]) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
-	dx := tensor.New(g.lastShape...)
+	dx := tensor.NewOf(tensor.DTypeOf[E](), g.lastShape...)
 	inv := 1.0 / float64(h*w)
-	dd, gd := dx.Data(), grad.Data()
+	dd, gd := tensor.DataOf[E](dx), tensor.DataOf[E](grad)
 	for i := 0; i < n*c; i++ {
-		v := gd[i] * inv
+		v := roundE[E](toF64(gd[i]) * inv)
 		row := dd[i*h*w : (i+1)*h*w]
 		for j := range row {
 			row[j] = v
@@ -207,4 +234,4 @@ func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+func (g *GlobalAvgPool2D[E]) Params() []*Param { return nil }

@@ -7,19 +7,27 @@ import (
 	"math"
 
 	"fedsu/internal/nn"
+	"fedsu/internal/tensor"
 )
 
 // SGD is stochastic gradient descent with optional momentum and decoupled
 // L2 weight decay, matching the paper's training setup (SGD, weight decay
 // 0.001).
+//
+// The update runs at the parameter storage width: scalars (learning rate,
+// momentum, weight decay) round once per Step and the per-element arithmetic
+// — including the velocity buffer — stays in the parameter's dtype. At
+// float32 this halves the optimizer's memory footprint along with the
+// model's; at float64 it is the historical update bit-for-bit.
 type SGD struct {
 	lr          float64
 	momentum    float64
 	weightDecay float64
 	schedule    Schedule
 
-	velocity map[*nn.Param][]float64
-	step     int
+	velocity   map[*nn.Param][]float64
+	velocity32 map[*nn.Param][]float32
+	step       int
 }
 
 // SGDOpt customizes an SGD optimizer at construction time.
@@ -55,40 +63,65 @@ func (s *SGD) LR() float64 { return s.lr * s.schedule(s.step) }
 
 // Step applies one update to every optimizer-visible parameter using the
 // gradients accumulated since the last ZeroGrad, then advances the step
-// counter.
+// counter. Parameters of both widths may appear in one call; each updates
+// at its own storage width.
 func (s *SGD) Step(params []*nn.Param) {
 	lr := s.LR()
 	for _, p := range params {
 		if p.NoOpt {
 			continue
 		}
-		v := p.Value.Data()
-		g := p.Grad.Data()
-		if s.weightDecay != 0 {
-			for i := range g {
-				g[i] += s.weightDecay * v[i]
+		if p.Value.DType() == tensor.Float32 {
+			var vel []float32
+			if s.momentum != 0 {
+				if s.velocity32 == nil {
+					s.velocity32 = make(map[*nn.Param][]float32)
+				}
+				var ok bool
+				if vel, ok = s.velocity32[p]; !ok {
+					vel = make([]float32, p.Value.Len())
+					s.velocity32[p] = vel
+				}
 			}
+			sgdUpdate(tensor.DataOf[float32](p.Value), tensor.DataOf[float32](p.Grad), vel,
+				float32(lr), float32(s.momentum), float32(s.weightDecay)) //lint:allow precision optimizer scalars round once per step at the dispatch boundary
+			continue
 		}
+		var vel []float64
 		if s.momentum != 0 {
 			if s.velocity == nil {
 				s.velocity = make(map[*nn.Param][]float64)
 			}
-			vel, ok := s.velocity[p]
-			if !ok {
-				vel = make([]float64, len(v))
+			var ok bool
+			if vel, ok = s.velocity[p]; !ok {
+				vel = make([]float64, p.Value.Len())
 				s.velocity[p] = vel
 			}
-			for i := range v {
-				vel[i] = s.momentum*vel[i] + g[i]
-				v[i] -= lr * vel[i]
-			}
-		} else {
-			for i := range v {
-				v[i] -= lr * g[i]
-			}
 		}
+		sgdUpdate(tensor.DataOf[float64](p.Value), tensor.DataOf[float64](p.Grad), vel,
+			lr, s.momentum, s.weightDecay)
 	}
 	s.step++
+}
+
+// sgdUpdate applies the storage-width SGD update to one parameter. vel is
+// nil when momentum is zero.
+func sgdUpdate[E tensor.Elem](v, g, vel []E, lr, momentum, weightDecay E) {
+	if weightDecay != 0 {
+		for i := range g {
+			g[i] += weightDecay * v[i]
+		}
+	}
+	if momentum != 0 {
+		for i := range v {
+			vel[i] = momentum*vel[i] + g[i]
+			v[i] -= lr * vel[i]
+		}
+	} else {
+		for i := range v {
+			v[i] -= lr * g[i]
+		}
+	}
 }
 
 // Schedule maps a step index to a multiplier on the base learning rate.

@@ -57,7 +57,7 @@ func divCeil(a, b int) int { return -divFloor(-a, b) }
 func Im2Col(x *Tensor, p ConvParams) *Tensor {
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := p.OutSize(h, w)
-	out := New(c*p.KernelH*p.KernelW, n*oh*ow)
+	out := NewOf(x.dt, c*p.KernelH*p.KernelW, n*oh*ow)
 	Im2ColInto(out, x, p)
 	return out
 }
@@ -76,19 +76,31 @@ func Im2ColInto(dst, x *Tensor, p ConvParams) {
 	if dst.shape[0] != rows || dst.shape[1] != cols {
 		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want %dx%d", dst.shape, rows, cols))
 	}
+	checkSameDType("Im2ColInto", dst, x)
+	if dst.dt == Float32 {
+		im2colDispatch(dst.data32, x.data32, p, n, c, h, w, oh, ow, rows, cols)
+	} else {
+		im2colDispatch(dst.data, x.data, p, n, c, h, w, oh, ow, rows, cols)
+	}
+}
+
+// im2colDispatch engages the worker pool when the unroll is large enough;
+// rows write disjoint slabs, so chunking is bit-deterministic at both
+// element widths.
+func im2colDispatch[E Elem](od, xd []E, p ConvParams, n, c, h, w, oh, ow, rows, cols int) {
 	if parallelWorthwhile(int64(rows) * int64(cols)) {
 		par.Parallelize(rows, func(lo, hi int) {
-			im2colRows(dst.data, x.data, p, n, c, h, w, oh, ow, lo, hi)
+			im2colRows(od, xd, p, n, c, h, w, oh, ow, lo, hi)
 		})
 		return
 	}
-	im2colRows(dst.data, x.data, p, n, c, h, w, oh, ow, 0, rows)
+	im2colRows(od, xd, p, n, c, h, w, oh, ow, 0, rows)
 }
 
 // im2colRows fills output rows [rLo, rHi); row index r decodes to the
 // (channel, kernel-tap) pair r = (ci*KH + kh)*KW + kw. Rows write disjoint
 // slabs, so any chunking is race-free and bit-deterministic.
-func im2colRows(od, xd []float64, p ConvParams, n, c, h, w, oh, ow, rLo, rHi int) {
+func im2colRows[E Elem](od, xd []E, p ConvParams, n, c, h, w, oh, ow, rLo, rHi int) {
 	cols := n * oh * ow
 	for row := rLo; row < rHi; row++ {
 		kw := row % p.KernelW
@@ -134,7 +146,7 @@ func im2colRows(od, xd []float64, p ConvParams, n, c, h, w, oh, ow, rLo, rHi int
 // summed. It is the adjoint of Im2Col and implements the convolution input
 // gradient.
 func Col2Im(cols *Tensor, n, c, h, w int, p ConvParams) *Tensor {
-	x := New(n, c, h, w)
+	x := NewOf(cols.dt, n, c, h, w)
 	Col2ImInto(x, cols, p)
 	return x
 }
@@ -153,17 +165,29 @@ func Col2ImInto(dst, cols *Tensor, p ConvParams) {
 	if cols.shape[0] != rows || cols.shape[1] != colN {
 		panic(fmt.Sprintf("tensor: Col2ImInto cols shape %v, want %dx%d", cols.shape, rows, colN))
 	}
+	checkSameDType("Col2ImInto", dst, cols)
+	if dst.dt == Float32 {
+		col2imDispatch(dst.data32, cols.data32, p, n, c, h, w, oh, ow, rows, colN)
+	} else {
+		col2imDispatch(dst.data, cols.data, p, n, c, h, w, oh, ow, rows, colN)
+	}
+}
+
+// col2imDispatch engages the worker pool over channels; channels own
+// disjoint output slabs and taps are visited in a fixed order, so chunking
+// is bit-deterministic at both element widths.
+func col2imDispatch[E Elem](xd, cd []E, p ConvParams, n, c, h, w, oh, ow, rows, colN int) {
 	if parallelWorthwhile(int64(rows) * int64(colN)) {
 		par.Parallelize(c, func(lo, hi int) {
-			col2imChannels(dst.data, cols.data, p, n, c, h, w, oh, ow, lo, hi)
+			col2imChannels(xd, cd, p, n, c, h, w, oh, ow, lo, hi)
 		})
 		return
 	}
-	col2imChannels(dst.data, cols.data, p, n, c, h, w, oh, ow, 0, c)
+	col2imChannels(xd, cd, p, n, c, h, w, oh, ow, 0, c)
 }
 
 // col2imChannels accumulates channels [cLo, cHi) of the output.
-func col2imChannels(xd, cd []float64, p ConvParams, n, c, h, w, oh, ow, cLo, cHi int) {
+func col2imChannels[E Elem](xd, cd []E, p ConvParams, n, c, h, w, oh, ow, cLo, cHi int) {
 	colN := n * oh * ow
 	for ci := cLo; ci < cHi; ci++ {
 		for ni := 0; ni < n; ni++ {

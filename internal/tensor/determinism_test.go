@@ -9,15 +9,25 @@ import (
 	"fedsu/internal/par"
 )
 
-// fillRand populates t with uniform values in [-1, 1).
+// dtypes is the precision grid every determinism test runs over: the
+// serial-vs-parallel bit-identity contract holds per element width, not
+// just for the historical float64 path.
+var dtypes = []DType{Float64, Float32}
+
+// fillRand populates t with uniform values in [-1, 1), drawn in float64 and
+// rounded to t's dtype (the same stream-preserving convention the real
+// initializers use).
 func fillRand(t *Tensor, rng *rand.Rand) {
-	d := t.Data()
-	for i := range d {
-		d[i] = rng.Float64()*2 - 1
+	buf := make([]float64, t.Len())
+	for i := range buf {
+		buf[i] = rng.Float64()*2 - 1
 	}
+	t.CopyFromF64(buf)
 }
 
 // sameBits fails the test unless a and b are bitwise-identical float slices.
+// Tensors are compared through CopyToF64: the float32→float64 widening is
+// exact and injective, so bit-equal widened values ⇔ bit-equal storage.
 func sameBits(t *testing.T, name string, a, b []float64) {
 	t.Helper()
 	if len(a) != len(b) {
@@ -31,116 +41,136 @@ func sameBits(t *testing.T, name string, a, b []float64) {
 	}
 }
 
+// f64Of snapshots a tensor's elements as float64 for bit comparison.
+func f64Of(x *Tensor) []float64 {
+	out := make([]float64, x.Len())
+	x.CopyToF64(out)
+	return out
+}
+
 // TestParallelKernelsBitDeterministic checks the tentpole guarantee: every
 // parallel kernel produces output bitwise identical to its serial execution,
-// for random shapes and multiple worker counts. The parallel cutoff is
-// forced to zero so even tiny problems route through the chunked code path.
+// for random shapes, multiple worker counts, and both element widths. The
+// parallel cutoff is forced to zero so even tiny problems route through the
+// chunked code path.
 func TestParallelKernelsBitDeterministic(t *testing.T) {
 	prevCut := SetParallelCutoff(0)
 	defer SetParallelCutoff(prevCut)
 
-	rng := rand.New(rand.NewSource(42))
-	shapes := make([][3]int, 0, 12)
-	// Edge geometries around the register-tile (4) and panel boundaries,
-	// plus random rectangles.
-	shapes = append(shapes, [3]int{1, 1, 1}, [3]int{4, 128, 4}, [3]int{5, 129, 7}, [3]int{64, 64, 64})
-	for i := 0; i < 8; i++ {
-		shapes = append(shapes, [3]int{1 + rng.Intn(70), 1 + rng.Intn(200), 1 + rng.Intn(70)})
-	}
+	for _, dt := range dtypes {
+		t.Run(dt.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			shapes := make([][3]int, 0, 12)
+			// Edge geometries around the register-tile (4) and panel boundaries,
+			// plus random rectangles.
+			shapes = append(shapes, [3]int{1, 1, 1}, [3]int{4, 128, 4}, [3]int{5, 129, 7}, [3]int{64, 64, 64})
+			for i := 0; i < 8; i++ {
+				shapes = append(shapes, [3]int{1 + rng.Intn(70), 1 + rng.Intn(200), 1 + rng.Intn(70)})
+			}
 
-	for _, sh := range shapes {
-		m, k, n := sh[0], sh[1], sh[2]
-		a := New(m, k)
-		b := New(k, n)
-		at := New(k, m) // for MatMulTransA
-		bt := New(n, k) // for MatMulTransB
-		fillRand(a, rng)
-		fillRand(b, rng)
-		fillRand(at, rng)
-		fillRand(bt, rng)
-		acc0 := New(m, n)
-		fillRand(acc0, rng)
+			for _, sh := range shapes {
+				m, k, n := sh[0], sh[1], sh[2]
+				a := NewOf(dt, m, k)
+				b := NewOf(dt, k, n)
+				at := NewOf(dt, k, m) // for MatMulTransA
+				bt := NewOf(dt, n, k) // for MatMulTransB
+				fillRand(a, rng)
+				fillRand(b, rng)
+				fillRand(at, rng)
+				fillRand(bt, rng)
+				acc0 := NewOf(dt, m, n)
+				fillRand(acc0, rng)
 
-		type out struct{ mm, ta, tb, ac []float64 }
-		run := func(workers int) out {
-			prev := par.SetWorkers(workers)
-			defer par.SetWorkers(prev)
-			mm := MatMul(a, b)
-			ta := MatMulTransA(at, b)
-			tb := MatMulTransB(a, bt)
-			ac := acc0.Clone()
-			MatMulAcc(ac, a, b)
-			return out{mm.Data(), ta.Data(), tb.Data(), ac.Data()}
-		}
+				type out struct{ mm, ta, tb, ac []float64 }
+				run := func(workers int) out {
+					prev := par.SetWorkers(workers)
+					defer par.SetWorkers(prev)
+					mm := MatMul(a, b)
+					ta := MatMulTransA(at, b)
+					tb := MatMulTransB(a, bt)
+					ac := acc0.Clone()
+					MatMulAcc(ac, a, b)
+					return out{f64Of(mm), f64Of(ta), f64Of(tb), f64Of(ac)}
+				}
 
-		serial := run(1)
-		for _, w := range []int{4, 7} {
-			got := run(w)
-			tag := fmt.Sprintf("m=%d k=%d n=%d workers=%d", m, k, n, w)
-			sameBits(t, "MatMul "+tag, serial.mm, got.mm)
-			sameBits(t, "MatMulTransA "+tag, serial.ta, got.ta)
-			sameBits(t, "MatMulTransB "+tag, serial.tb, got.tb)
-			sameBits(t, "MatMulAcc "+tag, serial.ac, got.ac)
-		}
+				serial := run(1)
+				for _, w := range []int{4, 7} {
+					got := run(w)
+					tag := fmt.Sprintf("m=%d k=%d n=%d workers=%d", m, k, n, w)
+					sameBits(t, "MatMul "+tag, serial.mm, got.mm)
+					sameBits(t, "MatMulTransA "+tag, serial.ta, got.ta)
+					sameBits(t, "MatMulTransB "+tag, serial.tb, got.tb)
+					sameBits(t, "MatMulAcc "+tag, serial.ac, got.ac)
+				}
+			}
+		})
 	}
 }
 
 // TestParallelConvLoweringBitDeterministic covers Im2Col/Col2Im the same
-// way: serial and parallel executions must agree bitwise.
+// way: serial and parallel executions must agree bitwise at both widths.
 func TestParallelConvLoweringBitDeterministic(t *testing.T) {
 	prevCut := SetParallelCutoff(0)
 	defer SetParallelCutoff(prevCut)
 
-	rng := rand.New(rand.NewSource(7))
-	cases := []struct {
-		n, c, h, w int
-		p          ConvParams
-	}{
-		{2, 3, 9, 9, ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
-		{1, 1, 5, 7, ConvParams{KernelH: 2, KernelW: 4, StrideH: 2, StrideW: 1}},
-		{3, 4, 8, 8, ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}},
-	}
-	for ci, tc := range cases {
-		x := New(tc.n, tc.c, tc.h, tc.w)
-		fillRand(x, rng)
-		oh, ow := tc.p.OutSize(tc.h, tc.w)
-		cols0 := New(tc.c*tc.p.KernelH*tc.p.KernelW, tc.n*oh*ow)
-		fillRand(cols0, rng)
+	for _, dt := range dtypes {
+		t.Run(dt.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			cases := []struct {
+				n, c, h, w int
+				p          ConvParams
+			}{
+				{2, 3, 9, 9, ConvParams{KernelH: 3, KernelW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}},
+				{1, 1, 5, 7, ConvParams{KernelH: 2, KernelW: 4, StrideH: 2, StrideW: 1}},
+				{3, 4, 8, 8, ConvParams{KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}},
+			}
+			for ci, tc := range cases {
+				x := NewOf(dt, tc.n, tc.c, tc.h, tc.w)
+				fillRand(x, rng)
+				oh, ow := tc.p.OutSize(tc.h, tc.w)
+				cols0 := NewOf(dt, tc.c*tc.p.KernelH*tc.p.KernelW, tc.n*oh*ow)
+				fillRand(cols0, rng)
 
-		run := func(workers int) (im, col []float64) {
-			prev := par.SetWorkers(workers)
-			defer par.SetWorkers(prev)
-			return Im2Col(x, tc.p).Data(),
-				Col2Im(cols0, tc.n, tc.c, tc.h, tc.w, tc.p).Data()
-		}
-		serialIm, serialCol := run(1)
-		for _, w := range []int{4, 7} {
-			im, col := run(w)
-			tag := fmt.Sprintf("case=%d workers=%d", ci, w)
-			sameBits(t, "Im2Col "+tag, serialIm, im)
-			sameBits(t, "Col2Im "+tag, serialCol, col)
-		}
+				run := func(workers int) (im, col []float64) {
+					prev := par.SetWorkers(workers)
+					defer par.SetWorkers(prev)
+					return f64Of(Im2Col(x, tc.p)),
+						f64Of(Col2Im(cols0, tc.n, tc.c, tc.h, tc.w, tc.p))
+				}
+				serialIm, serialCol := run(1)
+				for _, w := range []int{4, 7} {
+					im, col := run(w)
+					tag := fmt.Sprintf("case=%d workers=%d", ci, w)
+					sameBits(t, "Im2Col "+tag, serialIm, im)
+					sameBits(t, "Col2Im "+tag, serialCol, col)
+				}
+			}
+		})
 	}
 }
 
 // TestSerialFallbackMatchesParallelPath confirms that flipping only the
 // cutoff (serial fast path vs chunked parallel path at the same worker
 // count) does not change a single bit — the guarantee that lets the cutoff
-// be tuned freely.
+// be tuned freely — at either width.
 func TestSerialFallbackMatchesParallelPath(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
-	a := New(33, 65)
-	b := New(65, 17)
-	fillRand(a, rng)
-	fillRand(b, rng)
+	for _, dt := range dtypes {
+		t.Run(dt.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			a := NewOf(dt, 33, 65)
+			b := NewOf(dt, 65, 17)
+			fillRand(a, rng)
+			fillRand(b, rng)
 
-	prevW := par.SetWorkers(4)
-	defer par.SetWorkers(prevW)
-	prevCut := SetParallelCutoff(1 << 62) // force serial fast path
-	serial := MatMul(a, b)
-	SetParallelCutoff(0) // force chunked path
-	parallel := MatMul(a, b)
-	SetParallelCutoff(prevCut)
+			prevW := par.SetWorkers(4)
+			defer par.SetWorkers(prevW)
+			prevCut := SetParallelCutoff(1 << 62) // force serial fast path
+			serial := MatMul(a, b)
+			SetParallelCutoff(0) // force chunked path
+			parallel := MatMul(a, b)
+			SetParallelCutoff(prevCut)
 
-	sameBits(t, "cutoff serial-vs-parallel", serial.Data(), parallel.Data())
+			sameBits(t, "cutoff serial-vs-parallel", f64Of(serial), f64Of(parallel))
+		})
+	}
 }

@@ -1,0 +1,113 @@
+package tensor
+
+import "fmt"
+
+// DType selects the element storage width of a Tensor. The zero value is
+// Float64, so every tensor constructed before precision became configurable
+// (New, FromSlice, Full) keeps its historical float64 behavior bit-for-bit.
+//
+// Float32 halves the memory bandwidth of every kernel and makes the wire
+// codec's float32 round-trip (sparse.QuantizeWire) the identity, at the cost
+// of ~7 significant decimal digits of storage precision. Reductions that sum
+// many terms (loss, batch statistics, norms) still accumulate in float64
+// regardless of storage dtype — see the per-kernel notes in DESIGN.md.
+type DType uint8
+
+const (
+	// Float64 is the default, historical precision.
+	Float64 DType = iota
+	// Float32 is the reduced-precision compute path matching the wire codec.
+	Float32
+)
+
+// numDTypes sizes per-dtype tables (the scratch arena).
+const numDTypes = 2
+
+// Elem is the type-parameter constraint shared by every generic kernel in
+// this package: the two supported element widths, exactly.
+type Elem interface {
+	float32 | float64
+}
+
+// String returns the flag-spelling of d ("float64" / "float32").
+func (d DType) String() string {
+	switch d {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("DType(%d)", uint8(d))
+	}
+}
+
+// Bytes returns the storage size of one element.
+func (d DType) Bytes() int {
+	if d == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// ParseDType parses the flag-spelling of a dtype. The empty string selects
+// the default (Float64) so unset flags and env vars fall through cleanly.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "", "float64", "f64":
+		return Float64, nil
+	case "float32", "f32":
+		return Float32, nil
+	default:
+		return Float64, fmt.Errorf("tensor: unknown dtype %q (want float32 or float64)", s)
+	}
+}
+
+// dtypeOf maps a kernel's element type parameter to its DType tag. The
+// pointer type-switch compiles to a constant per instantiation and does not
+// allocate (guarded by TestDataOfDoesNotAllocate).
+func dtypeOf[E Elem]() DType {
+	var z E
+	switch any(&z).(type) {
+	case *float32:
+		return Float32
+	default:
+		return Float64
+	}
+}
+
+// DTypeOf returns the DType tag for the element type E — the bridge
+// precision-parameterized layers use to construct tensors matching their
+// instantiation.
+func DTypeOf[E Elem]() DType { return dtypeOf[E]() }
+
+// DataOf returns t's backing slice at the tensor's native element type.
+// Mutating the returned slice mutates the tensor, exactly like Data. It
+// panics if E does not match t's dtype — a layer instantiated at one
+// precision being fed a tensor of the other is a wiring bug, not a
+// condition to convert through silently.
+func DataOf[E Elem](t *Tensor) []E {
+	var s []E
+	switch p := any(&s).(type) {
+	case *[]float32:
+		if t.dt != Float32 {
+			panic(fmt.Sprintf("tensor: DataOf[float32] on %s tensor", t.dt))
+		}
+		*p = t.data32
+	case *[]float64:
+		if t.dt != Float64 {
+			panic(fmt.Sprintf("tensor: DataOf[float64] on %s tensor", t.dt))
+		}
+		*p = t.data
+	}
+	return s
+}
+
+// checkSameDType panics unless every tensor shares one dtype; kernels never
+// convert implicitly, so mixed-precision operands are a wiring bug.
+func checkSameDType(op string, ts ...*Tensor) {
+	for _, t := range ts[1:] {
+		if t.dt != ts[0].dt {
+			panic(fmt.Sprintf("tensor: %s dtype mismatch (%s vs %s)", op, ts[0].dt, t.dt))
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseDType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DType
+		err  bool
+	}{
+		{"", Float64, false},
+		{"float64", Float64, false},
+		{"f64", Float64, false},
+		{"float32", Float32, false},
+		{"f32", Float32, false},
+		{"float16", Float64, true},
+		{"FLOAT32", Float64, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseDType(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseDType(%q) = (%v, %v), want (%v, err=%v)", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+	if Float32.String() != "float32" || Float64.String() != "float64" {
+		t.Errorf("DType.String round-trip broken: %q %q", Float32, Float64)
+	}
+	if Float32.Bytes() != 4 || Float64.Bytes() != 8 {
+		t.Errorf("DType.Bytes = %d/%d, want 4/8", Float32.Bytes(), Float64.Bytes())
+	}
+}
+
+// TestZeroValueDTypeIsFloat64 pins the compatibility contract: tensors from
+// the historical constructors are float64 and keep the Data() fast path.
+func TestZeroValueDTypeIsFloat64(t *testing.T) {
+	for _, x := range []*Tensor{New(3), FromSlice([]float64{1, 2}, 2), Full(7, 2, 2), GetScratch(4)} {
+		if x.DType() != Float64 {
+			t.Fatalf("%v: DType = %v, want Float64", x, x.DType())
+		}
+		_ = x.Data() // must not panic
+	}
+}
+
+// TestDataOfDoesNotAllocate guards the dispatch boundary: pulling the typed
+// backing slice out of a tensor must stay allocation-free at both widths,
+// or every kernel invocation would pay a heap box.
+func TestDataOfDoesNotAllocate(t *testing.T) {
+	t64 := New(16)
+	t32 := NewOf(Float32, 16)
+	var sink int
+	if n := testing.AllocsPerRun(100, func() {
+		sink += len(DataOf[float64](t64)) + len(DataOf[float32](t32)) + int(dtypeOf[float32]())
+	}); n != 0 {
+		t.Fatalf("DataOf/dtypeOf allocate %.1f times per call, want 0", n)
+	}
+	_ = sink
+}
+
+// TestDataOfPanicsOnMismatch: feeding a layer instantiated at one precision
+// a tensor of the other must fail loudly, not convert silently.
+func TestDataOfPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DataOf[float32] on a float64 tensor did not panic")
+		}
+	}()
+	DataOf[float32](New(4))
+}
+
+// TestF64BoundaryRoundTrip checks both directions of the sync boundary:
+// CopyFromF64 rounds exactly like the wire codec's float32 conversion, and
+// CopyToF64 widens exactly, so a float32 tensor round-trips bit-stably.
+func TestF64BoundaryRoundTrip(t *testing.T) {
+	src := []float64{0, math.Pi, -1.0 / 3.0, 1e-40, -2.5e38, math.MaxFloat64, 1}
+	x := NewOf(Float32, len(src))
+	x.CopyFromF64(src)
+	got := make([]float64, len(src))
+	x.CopyToF64(got)
+	for i, v := range src {
+		want := float64(float32(v))
+		if math.Float64bits(got[i]) != math.Float64bits(want) {
+			t.Errorf("element %d: round-trip %x, want %x", i, math.Float64bits(got[i]), math.Float64bits(want))
+		}
+	}
+	// Second trip is the identity: the storage is already float32.
+	x.CopyFromF64(got)
+	got2 := make([]float64, len(src))
+	x.CopyToF64(got2)
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(got2[i]) {
+			t.Errorf("element %d: second trip moved %x -> %x", i, math.Float64bits(got[i]), math.Float64bits(got2[i]))
+		}
+	}
+}
+
+// TestScratchArenaSeparatesDTypes: a recycled float32 tensor must never
+// satisfy a float64 request (and vice versa), whatever the size class.
+func TestScratchArenaSeparatesDTypes(t *testing.T) {
+	s32 := GetScratchOf(Float32, 8)
+	PutScratch(s32)
+	s64 := GetScratch(8)
+	if s64.DType() != Float64 {
+		t.Fatalf("float64 scratch request returned %v tensor", s64.DType())
+	}
+	_ = s64.Data() // would panic if the arena handed back float32 storage
+	PutScratch(s64)
+
+	s32b := GetScratchOf(Float32, 8)
+	if s32b.DType() != Float32 {
+		t.Fatalf("float32 scratch request returned %v tensor", s32b.DType())
+	}
+	if got := len(s32b.Data32()); got != 8 {
+		t.Fatalf("float32 scratch length %d, want 8", got)
+	}
+	PutScratch(s32b)
+}
+
+// TestInitializersShareRngStream pins the cross-precision init parity: both
+// widths consume the identical generator sequence, and the float32 values
+// are exactly the rounded float64 draws.
+func TestInitializersShareRngStream(t *testing.T) {
+	const n = 64
+	init := func(dt DType, f func(*Tensor, *rand.Rand)) (*Tensor, float64) {
+		rng := rand.New(rand.NewSource(123))
+		x := NewOf(dt, n)
+		f(x, rng)
+		return x, rng.Float64() // stream position probe
+	}
+	cases := []struct {
+		name string
+		fill func(*Tensor, *rand.Rand)
+	}{
+		{"RandNormal", func(x *Tensor, rng *rand.Rand) { x.RandNormal(rng, 0.1, 2) }},
+		{"RandUniform", func(x *Tensor, rng *rand.Rand) { x.RandUniform(rng, -3, 5) }},
+		{"KaimingNormal", func(x *Tensor, rng *rand.Rand) { x.KaimingNormal(rng, 9) }},
+		{"XavierUniform", func(x *Tensor, rng *rand.Rand) { x.XavierUniform(rng, 4, 6) }},
+	}
+	for _, tc := range cases {
+		x64, probe64 := init(Float64, tc.fill)
+		x32, probe32 := init(Float32, tc.fill)
+		if probe64 != probe32 {
+			t.Fatalf("%s: rng stream diverged between dtypes", tc.name)
+		}
+		d64, d32 := x64.Data(), x32.Data32()
+		for i := range d64 {
+			if math.Float32bits(d32[i]) != math.Float32bits(float32(d64[i])) {
+				t.Fatalf("%s: element %d is %x, want round(f64 draw) %x",
+					tc.name, i, math.Float32bits(d32[i]), math.Float32bits(float32(d64[i])))
+			}
+		}
+	}
+}
+
+// TestMixedDTypeOperandsPanic: kernels never convert implicitly.
+func TestMixedDTypeOperandsPanic(t *testing.T) {
+	a := New(4, 4)
+	b := NewOf(Float32, 4, 4)
+	for name, f := range map[string]func(){
+		"MatMul":    func() { MatMul(a, b) },
+		"AddScaled": func() { a.AddScaled(1, b) },
+		"Mul":       func() { a.Mul(b) },
+		"CopyFrom":  func() { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mixed dtypes did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestElementwiseFloat32 spot-checks the float32 instantiations of the
+// element-wise methods and the f64-accumulating reductions.
+func TestElementwiseFloat32(t *testing.T) {
+	x := NewOf(Float32, 2, 2)
+	x.CopyFromF64([]float64{1, -2, 3, -4})
+	y := x.Clone()
+	y.Scale(0.5)
+	want := []float64{0.5, -1, 1.5, -2}
+	for i, w := range want {
+		if got := y.flatAt(i); got != w {
+			t.Fatalf("Scale: element %d = %g, want %g", i, got, w)
+		}
+	}
+	y.AddScaled(2, x)
+	if got := y.flatAt(1); got != -5 {
+		t.Fatalf("AddScaled: element 1 = %g, want -5", got)
+	}
+	if s := x.Sum(); s != -2 {
+		t.Fatalf("Sum = %g, want -2", s)
+	}
+	if n := x.Norm(); math.Abs(n-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm = %g, want sqrt(30)", n)
+	}
+	if i := x.ArgMax(); i != 2 {
+		t.Fatalf("ArgMax = %d, want 2", i)
+	}
+	if m := x.MaxAbs(); m != 4 {
+		t.Fatalf("MaxAbs = %g, want 4", m)
+	}
+	if x.Mean() != -0.5 {
+		t.Fatalf("Mean = %g, want -0.5", x.Mean())
+	}
+	z := x.Reshape(4)
+	if z.DType() != Float32 || z.Len() != 4 {
+		t.Fatalf("Reshape lost dtype or length: %v %d", z.DType(), z.Len())
+	}
+	z.Set(9, 0)
+	if x.At(0, 0) != 9 {
+		t.Fatalf("Reshape is not a view at float32")
+	}
+	fs := FromSliceOf([]float32{1, 2, 3}, 3)
+	if fs.DType() != Float32 || fs.At(1) != 2 {
+		t.Fatalf("FromSliceOf[float32] broken: %v", fs)
+	}
+}

@@ -7,16 +7,26 @@ import (
 )
 
 // The matmul kernels are register-blocked (tileRows output rows share each
-// streamed row of B) and parallelized over the par pool. Two properties are
-// load-bearing for the rest of the stack:
+// streamed row of B), parallelized over the par pool, and instantiated per
+// element width via the Elem type parameter: the public entry points
+// dispatch once on the operands' dtype and the compiler stencils a separate
+// loop body for float32 and float64, so both widths keep their accumulators
+// in registers. Three properties are load-bearing for the rest of the stack:
 //
 //   - Bit-determinism: every output element is accumulated in a fixed order
 //     (p = 0..k-1) and the tileRows block decomposition is anchored at
 //     absolute row indices (par.ParallelizeGrain keeps chunk boundaries
 //     tile-aligned), so results are bitwise identical at every worker count,
-//     including the serial fallback.
+//     including the serial fallback — at both precisions.
 //   - No hidden allocation: the *Into and *Acc variants write caller-owned
 //     storage, which the nn layers draw from the scratch arena.
+//   - Accumulator width = storage width: each dot product sums k terms into
+//     an E-typed register (standard practice for f32 GEMM — per-element
+//     error is O(√k)·ulp on random data, dominated by the f32 storage
+//     rounding itself, while widening the eight-way register tile to f64
+//     would double its register pressure and halve the bandwidth win).
+//     O(n)-term statistics reductions elsewhere (loss, norms, batchnorm
+//     moments) do widen to float64; see tensor.Sum and the nn layer notes.
 //
 // Small products fall back to the serial kernel so eval-scale tensors do
 // not pay goroutine handoff; the cutoff is tunable for tests via
@@ -26,11 +36,11 @@ import (
 // against each streamed row of B, quartering B's memory traffic.
 const tileRows = 4
 
-// tileK and tileJ bound the B panel (tileK×tileJ float64s = 512 KiB) that
-// the cache-blocked kernels keep hot in L2 while all row tiles accumulate
-// against it. Tiling only reorders *which element* is updated next, never
-// the p-order of updates to a single element, so it preserves bit-identical
-// results.
+// tileK and tileJ bound the B panel (tileK×tileJ elements = 512 KiB at
+// float64, 256 KiB at float32) that the cache-blocked kernels keep hot in
+// L2 while all row tiles accumulate against it. Tiling only reorders *which
+// element* is updated next, never the p-order of updates to a single
+// element, so it preserves bit-identical results.
 const (
 	tileK = 128
 	tileJ = 512
@@ -54,7 +64,7 @@ func parallelWorthwhile(work int64) bool {
 }
 
 // MatMul computes C = A × B for 2-D tensors A (m×k) and B (k×n), returning a
-// new m×n tensor.
+// new m×n tensor of the operands' dtype.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Dims() != 2 || b.Dims() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v × %v", a.shape, b.shape))
@@ -64,8 +74,13 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.shape, b.shape))
 	}
-	c := New(m, n)
-	matmul(c.data, a.data, b.data, m, k, n, false)
+	checkSameDType("MatMul", a, b)
+	c := NewOf(a.dt, m, n)
+	if a.dt == Float32 {
+		matmul(c.data32, a.data32, b.data32, m, k, n, false)
+	} else {
+		matmul(c.data, a.data, b.data, m, k, n, false)
+	}
 	return c
 }
 
@@ -78,7 +93,12 @@ func MatMulInto(dst, a, b *Tensor) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmul(dst.data, a.data, b.data, m, k, n, false)
+	checkSameDType("MatMulInto", dst, a, b)
+	if dst.dt == Float32 {
+		matmul(dst.data32, a.data32, b.data32, m, k, n, false)
+	} else {
+		matmul(dst.data, a.data, b.data, m, k, n, false)
+	}
 }
 
 // MatMulAcc computes dst += A × B without materializing the product,
@@ -90,7 +110,12 @@ func MatMulAcc(dst, a, b *Tensor) {
 	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulAcc shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmul(dst.data, a.data, b.data, m, k, n, true)
+	checkSameDType("MatMulAcc", dst, a, b)
+	if dst.dt == Float32 {
+		matmul(dst.data32, a.data32, b.data32, m, k, n, true)
+	} else {
+		matmul(dst.data, a.data, b.data, m, k, n, true)
+	}
 }
 
 // packCutoff is the work size (multiply-adds) above which MatMul packs Bᵀ
@@ -98,7 +123,7 @@ func MatMulAcc(dst, a, b *Tensor) {
 // cost is noise there. Below it the in-place accumulate kernel wins.
 const packCutoff = 1 << 15
 
-func matmul(c, a, b []float64, m, k, n int, acc bool) {
+func matmul[E Elem](c, a, b []E, m, k, n int, acc bool) {
 	work := int64(m) * int64(k) * int64(n)
 	if work < packCutoff {
 		matmulBlock(c, a, b, 0, m, 0, n, k, n, acc)
@@ -109,8 +134,8 @@ func matmul(c, a, b []float64, m, k, n int, acc bool) {
 	// on scalar Go code roughly doubles throughput over the accumulate
 	// kernel. Element values are unchanged bit-for-bit: both forms apply
 	// the identical sequence of rounded multiply-adds in p order.
-	bts := GetScratch(n * k)
-	bt := bts.data
+	bts := GetScratchOf(dtypeOf[E](), n*k)
+	bt := DataOf[E](bts)
 	transposeInto(bt, b, k, n)
 	if parallelWorthwhile(work) {
 		par.ParallelizeGrain(m, tileRows, func(lo, hi int) {
@@ -124,7 +149,7 @@ func matmul(c, a, b []float64, m, k, n int, acc bool) {
 
 // transposeInto writes the r×c matrix src into dst column-major (dst is
 // c×r), using cache-friendly square tiles. Pure data movement — layout only.
-func transposeInto(dst, src []float64, r, c int) {
+func transposeInto[E Elem](dst, src []E, r, c int) {
 	const tile = 32
 	if parallelWorthwhile(int64(r) * int64(c) * 8) {
 		par.ParallelizeGrain(c, tile, func(lo, hi int) {
@@ -135,7 +160,7 @@ func transposeInto(dst, src []float64, r, c int) {
 	transposeTiles(dst, src, r, c, 0, c)
 }
 
-func transposeTiles(dst, src []float64, r, c, jLo, jHi int) {
+func transposeTiles[E Elem](dst, src []E, r, c, jLo, jHi int) {
 	const tile = 32
 	for j0 := jLo; j0 < jHi; j0 += tile {
 		j1 := j0 + tile
@@ -161,7 +186,8 @@ func transposeTiles(dst, src []float64, r, c, jLo, jHi int) {
 // Bᵀ: each element is one contiguous dot product accumulated in registers,
 // with a 4-column register tile sharing every streamed A row. Elements are
 // independent ordered reductions, so any chunking yields identical bits.
-func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
+// Accumulators are E-typed (storage width) — see the file comment.
+func matmulPackedRows[E Elem](c, a, bt []E, lo, hi, k, n int, acc bool) {
 	// 4×2 register tile: four A rows share every streamed Bᵀ row, so the
 	// packed matrix is pulled through the cache hierarchy once per four
 	// output rows instead of once per row. Each of the eight sums is still
@@ -176,7 +202,7 @@ func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
 		for ; j+2 <= n; j += 2 {
 			bA := bt[(j+0)*k:][:len(a0)]
 			bB := bt[(j+1)*k:][:len(a0)]
-			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			var s00, s01, s10, s11, s20, s21, s30, s31 E
 			for p, bv0 := range bA {
 				bv1 := bB[p]
 				v0, v1, v2, v3 := a0[p], a1[p], a2[p], a3[p]
@@ -207,7 +233,7 @@ func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
 		}
 		for ; j < n; j++ {
 			bj := bt[j*k:][:len(a0)]
-			var s0, s1, s2, s3 float64
+			var s0, s1, s2, s3 E
 			for p, bv := range bj {
 				s0 += a0[p] * bv
 				s1 += a1[p] * bv
@@ -235,7 +261,7 @@ func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
 			b1 := bt[(j+1)*k:][:len(ai)]
 			b2 := bt[(j+2)*k:][:len(ai)]
 			b3 := bt[(j+3)*k:][:len(ai)]
-			var s0, s1, s2, s3 float64
+			var s0, s1, s2, s3 E
 			for p, av := range ai {
 				s0 += av * b0[p]
 				s1 += av * b1[p]
@@ -253,7 +279,7 @@ func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
 		}
 		for ; j < n; j++ {
 			bj := bt[j*k:][:len(ai)]
-			s := 0.0
+			var s E
 			for p, av := range ai {
 				s += av * bj[p]
 			}
@@ -273,7 +299,7 @@ func matmulPackedRows(c, a, bt []float64, lo, hi, k, n int, acc bool) {
 // dimensions in tileK×tileJ cache panels, so every element accumulates its
 // k products in exactly the order p = 0..k-1 regardless of chunking or
 // panel boundaries.
-func matmulBlock(c, a, b []float64, iLo, iHi, jLo, jHi, k, n int, acc bool) {
+func matmulBlock[E Elem](c, a, b []E, iLo, iHi, jLo, jHi, k, n int, acc bool) {
 	if !acc {
 		for i := iLo; i < iHi; i++ {
 			row := c[i*n+jLo : i*n+jHi]
@@ -347,8 +373,13 @@ func checkTransA(a, b *Tensor) (k, m, n int) {
 // m×n without materializing the transpose.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	k, m, n := checkTransA(a, b)
-	c := New(m, n)
-	matmulTransA(c.data, a.data, b.data, k, m, n, false)
+	checkSameDType("MatMulTransA", a, b)
+	c := NewOf(a.dt, m, n)
+	if a.dt == Float32 {
+		matmulTransA(c.data32, a.data32, b.data32, k, m, n, false)
+	} else {
+		matmulTransA(c.data, a.data, b.data, k, m, n, false)
+	}
 	return c
 }
 
@@ -358,7 +389,12 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmulTransA(dst.data, a.data, b.data, k, m, n, false)
+	checkSameDType("MatMulTransAInto", dst, a, b)
+	if dst.dt == Float32 {
+		matmulTransA(dst.data32, a.data32, b.data32, k, m, n, false)
+	} else {
+		matmulTransA(dst.data, a.data, b.data, k, m, n, false)
+	}
 }
 
 // MatMulTransAAcc computes dst += Aᵀ × B, the gradient-accumulation
@@ -368,10 +404,15 @@ func MatMulTransAAcc(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransAAcc shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmulTransA(dst.data, a.data, b.data, k, m, n, true)
+	checkSameDType("MatMulTransAAcc", dst, a, b)
+	if dst.dt == Float32 {
+		matmulTransA(dst.data32, a.data32, b.data32, k, m, n, true)
+	} else {
+		matmulTransA(dst.data, a.data, b.data, k, m, n, true)
+	}
 }
 
-func matmulTransA(c, a, b []float64, k, m, n int, acc bool) {
+func matmulTransA[E Elem](c, a, b []E, k, m, n int, acc bool) {
 	if parallelWorthwhile(int64(m) * int64(k) * int64(n)) {
 		// Split over output columns: every worker walks the full p loop, so
 		// each element still accumulates in p order regardless of chunking.
@@ -388,8 +429,11 @@ func matmulTransA(c, a, b []float64, k, m, n int, acc bool) {
 // column range is processed in panels sized so the touched C panel
 // (m × panel) stays cache-resident across all k passes. The i-tile
 // decomposition covers the full row range in every worker and panels only
-// reorder whole-element groups, so results are chunk-invariant.
-func matmulTransACols(c, a, b []float64, k, m, n, jlo, jhi int, acc bool) {
+// reorder whole-element groups, so results are chunk-invariant. This kernel
+// accumulates directly into C at storage width: each element receives its k
+// contributions in p order, matching the dot-kernel rounding sequence
+// exactly, so both code paths agree bitwise per precision.
+func matmulTransACols[E Elem](c, a, b []E, k, m, n, jlo, jhi int, acc bool) {
 	if !acc {
 		for i := 0; i < m; i++ {
 			row := c[i*n+jlo : i*n+jhi]
@@ -398,7 +442,8 @@ func matmulTransACols(c, a, b []float64, k, m, n, jlo, jhi int, acc bool) {
 			}
 		}
 	}
-	// C panel budget: tileK*tileJ elements (512 KiB), spread over m rows.
+	// C panel budget: tileK*tileJ elements (512 KiB at float64), spread over
+	// m rows.
 	panel := tileK * tileJ / m
 	if panel < 32 {
 		panel = 32
@@ -458,8 +503,13 @@ func checkTransB(a, b *Tensor) (m, k, n int) {
 // MatMulTransB computes C = A × Bᵀ where A is m×k and B is n×k, yielding m×n.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k, n := checkTransB(a, b)
-	c := New(m, n)
-	matmulTransB(c.data, a.data, b.data, m, k, n, false)
+	checkSameDType("MatMulTransB", a, b)
+	c := NewOf(a.dt, m, n)
+	if a.dt == Float32 {
+		matmulTransB(c.data32, a.data32, b.data32, m, k, n, false)
+	} else {
+		matmulTransB(c.data, a.data, b.data, m, k, n, false)
+	}
 	return c
 }
 
@@ -469,7 +519,12 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBInto shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmulTransB(dst.data, a.data, b.data, m, k, n, false)
+	checkSameDType("MatMulTransBInto", dst, a, b)
+	if dst.dt == Float32 {
+		matmulTransB(dst.data32, a.data32, b.data32, m, k, n, false)
+	} else {
+		matmulTransB(dst.data, a.data, b.data, m, k, n, false)
+	}
 }
 
 // MatMulTransBAcc computes dst += A × Bᵀ. Each element's dot product is
@@ -480,12 +535,17 @@ func MatMulTransBAcc(dst, a, b *Tensor) {
 	if dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransBAcc shape mismatch dst=%v a=%v b=%v", dst.shape, a.shape, b.shape))
 	}
-	matmulTransB(dst.data, a.data, b.data, m, k, n, true)
+	checkSameDType("MatMulTransBAcc", dst, a, b)
+	if dst.dt == Float32 {
+		matmulTransB(dst.data32, a.data32, b.data32, m, k, n, true)
+	} else {
+		matmulTransB(dst.data, a.data, b.data, m, k, n, true)
+	}
 }
 
 // matmulTransB runs the shared dot kernel directly: B stored n×k is already
 // the packed-Bᵀ layout matmulPackedRows wants.
-func matmulTransB(c, a, b []float64, m, k, n int, acc bool) {
+func matmulTransB[E Elem](c, a, b []E, m, k, n int, acc bool) {
 	if parallelWorthwhile(int64(m) * int64(k) * int64(n)) {
 		par.Parallelize(m, func(lo, hi int) {
 			matmulPackedRows(c, a, b, lo, hi, k, n, acc)
