@@ -22,6 +22,10 @@ vet:
 lint:
 	$(GO) run ./cmd/fedsu-lint ./...
 
+# `./...` keeps both lanes current as packages grow: tier1 picks up the
+# async-mode suites (fl server/engine async, netem arrival processes,
+# flrpc async wire) automatically, and the race lane hammers the
+# deadline-expiry-vs-completion and async-fold paths under the detector.
 race:
 	$(GO) test -race ./...
 

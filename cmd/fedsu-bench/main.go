@@ -8,7 +8,10 @@
 //	fedsu-bench -exp table1 -scale standard -out results/
 //	fedsu-bench -exp fig9 -rounds 120
 //
-// Experiments: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 all.
+// Experiments: fig1 fig2 table1 fig5 fig6 fig7 fig8 fig9 fig10 table2 all,
+// plus "async" — the sync-vs-buffered-async time-to-accuracy comparison
+// under the heterogeneous netem profile (not part of "all", which tracks
+// the paper's own figure set).
 //
 // Grid experiments (table1/fig5, fig8, fig9/fig10) fan their independent
 // runs across -parallel slots sharing one dataset/partition cache; results
@@ -242,6 +245,37 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 			return err
 		}
 		res.Report(os.Stdout)
+	case "async":
+		w := exp.CNNWorkload()
+		res, err := exp.RunAsyncCompare(ctx, cfg, w)
+		if err != nil {
+			return err
+		}
+		res.Report(os.Stdout)
+		var acc []*trace.Series
+		for _, mode := range exp.AsyncModes() {
+			acc = append(acc, res.Accuracy[mode])
+		}
+		fmt.Printf("\nAsync (%s): sync vs async time-to-accuracy\n", w.Name)
+		if err := trace.AsciiPlot(os.Stdout, 72, 14, acc...); err != nil {
+			return err
+		}
+		if err := writeCSV(outDir, "async_acc_"+w.Name+".csv", acc...); err != nil {
+			return err
+		}
+		if outDir != "" {
+			f, err := os.Create(filepath.Join(outDir, "async_acc_"+w.Name+".svg"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := trace.WriteSVG(f, trace.SVGOptions{
+				Title:  "Sync vs buffered-async time-to-accuracy (" + w.Name + ")",
+				XLabel: "emulated seconds", YLabel: "accuracy",
+			}, acc...); err != nil {
+				return err
+			}
+		}
 	case "table2":
 		// Per-round compute baselines from the netem calibration.
 		base := map[string]float64{}
@@ -254,7 +288,7 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 		}
 		res.Report(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, all)")
+		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, async, all)")
 	}
 	return nil
 }

@@ -35,6 +35,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "model seed (must match the clients)")
 		deadline = flag.Duration("deadline", 0, "collective barrier deadline; clients missing it are evicted (0 = wait forever)")
 		hbGrace  = flag.Duration("hb-grace", 0, "treat clients heard from this recently as alive at deadline expiry (0 = deadline)")
+		async     = flag.Bool("async", false, "buffered-async aggregation: fold submissions as they arrive, no round barrier")
+		asyncK    = flag.Int("k", 0, "async buffer size: apply the global every K contributions (default clients/2)")
+		staleness = flag.Int("staleness", 8, "async: drop contributions more than this many versions behind (-1 = unlimited)")
+		staleW    = flag.Float64("staleness-weight", 0.5, "async: per-version contribution weight decay in (0, 1]")
 	)
 	flag.Parse()
 
@@ -44,12 +48,23 @@ func main() {
 	}
 	size := w.Model(w.EffectiveScale(*scale), *seed+97).Size()
 
-	coord, err := flrpc.NewCoordinatorWith(flrpc.Config{
+	cfg := flrpc.Config{
 		NumClients:     *clients,
 		ModelSize:      size,
 		Deadline:       *deadline,
 		HeartbeatGrace: *hbGrace,
-	})
+	}
+	if *async {
+		k := *asyncK
+		if k <= 0 {
+			k = *clients / 2
+			if k < 1 {
+				k = 1
+			}
+		}
+		cfg.Async = fedsu.AsyncConfig{K: k, MaxStaleness: *staleness, StalenessWeight: *staleW}
+	}
+	coord, err := flrpc.NewCoordinatorWith(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -57,8 +72,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params, deadline %v)\n",
-		*clients, svc.Addr(), *workload, size, *deadline)
+	mode := "sync barriers"
+	if cfg.Async.Enabled() {
+		mode = fmt.Sprintf("async K=%d maxStale=%d w=%.2f", cfg.Async.K, cfg.Async.MaxStaleness, cfg.Async.StalenessWeight)
+	}
+	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params, deadline %v, %s)\n",
+		*clients, svc.Addr(), *workload, size, *deadline, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -75,6 +94,10 @@ func main() {
 	}
 	if n := coord.EvictionCount(); n > 0 {
 		fmt.Printf("fedsu-server: evicted clients %v\n", coord.Evicted())
+	}
+	if cfg.Async.Enabled() {
+		fmt.Printf("fedsu-server: async applied %d globals, dropped %d stale contributions\n",
+			coord.AsyncVersion(), coord.StaleDropCount())
 	}
 	if s := coord.Counters().String(); s != "" {
 		fmt.Printf("fedsu-server: %s\n", s)

@@ -38,11 +38,28 @@ func main() {
 		dtype      = flag.String("dtype", "float64", "compute precision: float64 (bit-identical legacy results) or float32 (half the memory bandwidth, lossless wire)")
 		ckptPath   = flag.String("checkpoint", "", "save a checkpoint here after the final round")
 		resumePath = flag.String("resume", "", "resume from a checkpoint before training")
+		async      = flag.Bool("async", false, "buffered-async rounds: clients run as independent arrival processes; -rounds counts global applications")
+		asyncK     = flag.Int("k", 0, "async buffer size: apply the global every K contributions (default clients/2)")
+		staleness  = flag.Int("staleness", 8, "async: drop contributions more than this many versions behind (-1 = unlimited)")
+		staleW     = flag.Float64("staleness-weight", 0.5, "async: per-version contribution weight decay in (0, 1]")
+		eventThr   = flag.Float64("event-threshold", 0, "event-triggered uploads: contribute only when the L2 norm of accumulated change crosses this (0 disables)")
 	)
 	flag.Parse()
 
 	opts := fedsu.DefaultOptions()
 	opts.TR, opts.TS, opts.Theta = *tr, *ts, *theta
+
+	var acfg fedsu.AsyncConfig
+	if *async {
+		k := *asyncK
+		if k <= 0 {
+			k = *clients / 2
+			if k < 1 {
+				k = 1
+			}
+		}
+		acfg = fedsu.AsyncConfig{K: k, MaxStaleness: *staleness, StalenessWeight: *staleW}
+	}
 
 	sim, err := fedsu.NewSimulation(fedsu.SimulationConfig{
 		Workload: *workload, Scheme: *scheme,
@@ -51,6 +68,7 @@ func main() {
 		Samples: *samples, ModelScale: *scale,
 		EvalEvery: *evalEvery, Seed: *seed, FedSU: opts,
 		ProxMu: *proxMu, DType: *dtype,
+		Async: acfg, EventThreshold: *eventThr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsu-sim:", err)
@@ -78,12 +96,7 @@ func main() {
 	fmt.Printf("%-6s %-10s %-9s %-9s %-9s %-8s %-8s\n",
 		"round", "time(s)", "acc", "loss", "trainloss", "sparse", "predict")
 	ctx := context.Background()
-	for i := 0; i < *rounds; i++ {
-		st, err := sim.RunRound(ctx, (i+1)%*evalEvery == 0 || i == *rounds-1)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "fedsu-sim:", err)
-			os.Exit(1)
-		}
+	emit := func(st fedsu.RoundStats) {
 		accStr := "-"
 		lossStr := "-"
 		if st.Accuracy >= 0 {
@@ -98,6 +111,28 @@ func main() {
 				st.Round, st.SimTime, st.Accuracy, st.Loss, st.TrainLoss,
 				st.SparsificationRatio, st.PredictableFraction,
 				st.Traffic.UpBytes, st.Traffic.DownBytes)
+		}
+	}
+	if *async {
+		// Async rounds run through the engine's event loop (per-arrival
+		// scheduling), not the per-round driver; stats arrive per global
+		// application.
+		stats, err := sim.Run(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedsu-sim:", err)
+			os.Exit(1)
+		}
+		for _, st := range stats {
+			emit(st)
+		}
+	} else {
+		for i := 0; i < *rounds; i++ {
+			st, err := sim.RunRound(ctx, (i+1)%*evalEvery == 0 || i == *rounds-1)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fedsu-sim:", err)
+				os.Exit(1)
+			}
+			emit(st)
 		}
 	}
 	if *ckptPath != "" {

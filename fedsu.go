@@ -123,6 +123,11 @@ func NewQSGD(clientID, size int, agg Aggregator, bits int, seed int64) (Syncer, 
 // RoundStats reports one round of an emulated run.
 type RoundStats = fl.RoundStats
 
+// AsyncConfig parameterizes buffered-async aggregation: the buffer size K,
+// the staleness bound (in global versions, never wall-clock), and the
+// per-version weight decay.
+type AsyncConfig = fl.AsyncConfig
+
 // SimulationConfig describes an emulated federated run over one of the
 // paper's workloads.
 type SimulationConfig struct {
@@ -155,6 +160,17 @@ type SimulationConfig struct {
 	// ProxMu adds a FedProx proximal term to the local objective (zero,
 	// the paper's setup, disables it).
 	ProxMu float64
+	// Async switches the run to buffered-async rounds (Async.K >= 1):
+	// clients become independent arrival processes and the global applies
+	// every K contributions with staleness-weighted averaging. Rounds then
+	// counts global applications. Requires a full-vector scheme
+	// (fedavg/cmfl/qsgd). Zero keeps synchronous barriers.
+	Async AsyncConfig
+	// EventThreshold enables event-triggered uploads: a client offers a
+	// contribution only when the L2 norm of its change since its last
+	// offer crosses the threshold, abstaining with header-only traffic
+	// otherwise. Zero disables gating.
+	EventThreshold float64
 	// DType selects the compute precision: "float64" (or empty — the
 	// historical default, bit-identical results) or "float32" (half the
 	// memory bandwidth and a lossless wire). Aliases "f64"/"f32" are
@@ -224,6 +240,8 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		WireParams:     w.WireParams,
 		ProxMu:         cfg.ProxMu,
 		DType:          dt,
+		Async:          cfg.Async,
+		EventThreshold: cfg.EventThreshold,
 	}
 	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
 	builder := func() *nn.Model { return w.ModelOf(dt, w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }

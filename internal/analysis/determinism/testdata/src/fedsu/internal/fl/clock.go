@@ -1,13 +1,41 @@
-// Package fl is outside the determinism scope: the engine measures
-// wall-clock on purpose (round timing, barrier deadlines), so nothing here
-// may be flagged.
+// Package fl is the engine half of the determinism corpus. It entered the
+// analyzer's scope with the buffered-async aggregation mode: staleness must
+// be measured in global versions (a counter the seeded replay reproduces),
+// never wall-clock — timestamping submissions with time.Now would weight
+// contributions by scheduler timing and break bit-identical seed replay.
+// Deadline timers (time.AfterFunc) and duration configuration remain legal:
+// only the banned environmental readers are flagged.
 package fl
 
 import "time"
 
-// roundDuration times a round — legal outside the kernel packages.
-func roundDuration(f func()) time.Duration {
-	start := time.Now()
-	f()
-	return time.Since(start)
+// asyncChan mimics the async accumulator: version counting is the
+// sanctioned staleness clock.
+type asyncChan struct {
+	ver  int
+	base map[int]int
+}
+
+// stalenessByVersion measures rounds-behind from the version counter — the
+// deterministic pattern server_async.go uses.
+func (c *asyncChan) stalenessByVersion(clientID int) int {
+	return c.ver - c.base[clientID]
+}
+
+// stalenessByWallClock timestamps submissions with ambient time: the decay
+// weight then depends on scheduler timing, not the seeded arrival order.
+func stalenessByWallClock(submitted time.Time) float64 {
+	return time.Since(submitted).Seconds() // want `call to time.Since in deterministic kernel package`
+}
+
+// stampSubmission reads the wall clock to record a submission: same issue
+// on the producing side.
+func stampSubmission() time.Time {
+	return time.Now() // want `call to time.Now in deterministic kernel package`
+}
+
+// armDeadline uses the timer machinery the barrier legitimately needs;
+// time.AfterFunc is not an environmental reader and must stay unflagged.
+func armDeadline(d time.Duration, expire func()) *time.Timer {
+	return time.AfterFunc(d, expire)
 }

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestRunAsyncCompareSmoke runs the three-arm sync/async/async-event
+// comparison at micro scale: all arms complete, every mode reports a
+// non-empty accuracy series over nondecreasing emulated time, and the
+// async arms account their staleness drops.
+func TestRunAsyncCompareSmoke(t *testing.T) {
+	cfg := microConfig()
+	cfg.Rounds = 4
+	res, err := RunAsyncCompare(context.Background(), cfg, CNNWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "cnn" {
+		t.Fatalf("workload = %q", res.Workload)
+	}
+	for _, mode := range AsyncModes() {
+		s := res.Accuracy[mode]
+		if s == nil || s.Len() == 0 {
+			t.Fatalf("%s: empty accuracy series", mode)
+		}
+		prev := -1.0
+		for _, x := range s.X {
+			if x < prev {
+				t.Fatalf("%s: emulated time went backwards (%v after %v)", mode, x, prev)
+			}
+			prev = x
+		}
+		if res.TimeToTarget[mode] <= 0 {
+			t.Errorf("%s: TimeToTarget = %v, want > 0", mode, res.TimeToTarget[mode])
+		}
+		if res.UpGB[mode] <= 0 {
+			t.Errorf("%s: UpGB = %v, want > 0", mode, res.UpGB[mode])
+		}
+		if acc := res.FinalAccuracy[mode]; acc <= 0 || acc > 1 {
+			t.Errorf("%s: FinalAccuracy = %v out of (0, 1]", mode, acc)
+		}
+	}
+	if res.StaleDrops["sync"] != 0 {
+		t.Errorf("sync arm reported %d stale drops", res.StaleDrops["sync"])
+	}
+
+	var buf bytes.Buffer
+	res.Report(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestRunAsyncCompareRejectsSingleClient: the comparison is meaningless
+// (and asyncK degenerate) below two clients.
+func TestRunAsyncCompareRejectsSingleClient(t *testing.T) {
+	cfg := microConfig()
+	cfg.Clients = 1
+	if _, err := RunAsyncCompare(context.Background(), cfg, CNNWorkload()); err == nil {
+		t.Fatal("single-client comparison accepted")
+	}
+}
+
+// TestHeterogeneousNetemProfile pins the comparison's population shape so
+// result churn from profile edits is deliberate.
+func TestHeterogeneousNetemProfile(t *testing.T) {
+	c := HeterogeneousNetem(8, 42)
+	if c.NumClients != 8 || c.Seed != 42 {
+		t.Fatalf("clients/seed = %d/%d", c.NumClients, c.Seed)
+	}
+	if c.ComputeHeterogeneity <= 0 || c.BandwidthSigma <= 0 || c.DropoutProb <= 0 {
+		t.Fatal("profile is not heterogeneous")
+	}
+}
+
+func TestAsyncK(t *testing.T) {
+	for _, tc := range []struct{ clients, want int }{{1, 1}, {2, 1}, {3, 1}, {8, 4}, {9, 4}} {
+		if got := asyncK(tc.clients); got != tc.want {
+			t.Errorf("asyncK(%d) = %d, want %d", tc.clients, got, tc.want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fedsu/internal/core"
 	"fedsu/internal/fl"
 	"fedsu/internal/nn"
+	"fedsu/internal/sparse"
 	"fedsu/internal/stats"
 	"fedsu/internal/trace"
 )
@@ -52,7 +53,7 @@ func RunFig6(ctx context.Context, cfg Config, w Workload) (*Fig6Result, error) {
 			return nil, err
 		}
 		vec := engine.GlobalVector()
-		mgr, ok := engine.Clients()[0].Syncer().(*core.Manager)
+		mgr, ok := sparse.UnwrapSyncer(engine.Clients()[0].Syncer()).(*core.Manager)
 		if !ok {
 			return nil, fmt.Errorf("exp: fig6 requires a FedSU manager")
 		}
@@ -200,7 +201,7 @@ func RunFig7(ctx context.Context, cfg Config, workloads []Workload) (*Fig7Result
 		if err != nil {
 			return nil, err
 		}
-		mgr, ok := run.Engine.Clients()[0].Syncer().(*core.Manager)
+		mgr, ok := sparse.UnwrapSyncer(run.Engine.Clients()[0].Syncer()).(*core.Manager)
 		if !ok {
 			return nil, fmt.Errorf("exp: fig7 requires a FedSU manager")
 		}

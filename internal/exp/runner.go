@@ -8,6 +8,7 @@ import (
 
 	"fedsu/internal/core"
 	"fedsu/internal/fl"
+	"fedsu/internal/netem"
 	"fedsu/internal/nn"
 	"fedsu/internal/tensor"
 )
@@ -38,6 +39,16 @@ type Config struct {
 	Seed int64
 	// FedSU carries the FedSU hyper-parameters (T_ℛ, T_𝒮, θ, variant).
 	FedSU core.Options
+	// Netem overrides the cluster timing model (zero value keeps
+	// netem.DefaultConfig at the run's client count); NumClients and Seed
+	// are filled from the run when left zero.
+	Netem netem.Config
+	// Async switches runs to buffered-async rounds (fl.Config.Async);
+	// Rounds then counts global applications. Zero keeps sync barriers.
+	Async fl.AsyncConfig
+	// EventThreshold enables event-triggered uploads (fl.Config
+	// counterpart); zero disables gating.
+	EventThreshold float64
 	// Verbose receives progress lines when non-nil. Grid drivers wrap it so
 	// concurrent runs emit whole, per-run-prefixed lines.
 	Verbose io.Writer
@@ -170,6 +181,17 @@ func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Ar
 		Seed:           cfg.Seed,
 		WireParams:     w.WireParams,
 		DType:          cfg.DType,
+		Async:          cfg.Async,
+		EventThreshold: cfg.EventThreshold,
+	}
+	if cfg.Netem != (netem.Config{}) {
+		flCfg.Netem = cfg.Netem
+		if flCfg.Netem.NumClients == 0 {
+			flCfg.Netem.NumClients = cfg.Clients
+		}
+		if flCfg.Netem.Seed == 0 {
+			flCfg.Netem.Seed = cfg.Seed
+		}
 	}
 	dsSeed := cfg.Seed + 31
 	var engine *fl.Engine

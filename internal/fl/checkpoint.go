@@ -5,6 +5,7 @@ import (
 
 	"fedsu/internal/ckpt"
 	"fedsu/internal/core"
+	"fedsu/internal/sparse"
 )
 
 // Checkpoint captures the engine's resumable state: the global model, the
@@ -17,7 +18,7 @@ func (e *Engine) Checkpoint() *ckpt.Checkpoint {
 		Round:  e.round,
 		Model:  e.clients[0].model.Vector(),
 	}
-	if mgr, ok := e.clients[0].syncer.(*core.Manager); ok {
+	if mgr, ok := sparse.UnwrapSyncer(e.clients[0].syncer).(*core.Manager); ok {
 		c.Manager = mgr.Snapshot()
 	}
 	return c
@@ -37,7 +38,7 @@ func (e *Engine) Restore(c *ckpt.Checkpoint) error {
 	for _, cl := range e.clients {
 		cl.model.LoadVector(c.Model)
 		if c.Manager != nil {
-			mgr, ok := cl.syncer.(*core.Manager)
+			mgr, ok := sparse.UnwrapSyncer(cl.syncer).(*core.Manager)
 			if !ok {
 				return fmt.Errorf("fl: checkpoint carries FedSU state but client %d runs %s",
 					cl.ID, cl.syncer.Name())

@@ -8,6 +8,7 @@ import (
 	"fedsu/internal/data"
 	"fedsu/internal/netem"
 	"fedsu/internal/opt"
+	"fedsu/internal/sparse"
 )
 
 // AddClient admits a new participant between rounds, implementing the
@@ -32,9 +33,11 @@ func (e *Engine) AddClient(shard *data.Subset) (*Client, error) {
 		opt.WithWeightDecay(e.cfg.WeightDecay))
 	syncer := e.factory(id, model.Size(), e.server)
 
-	// FedSU state transfer: mask + no-checking information (Sec. V).
-	if donor, ok := e.clients[0].syncer.(*core.Manager); ok {
-		joiner, ok := syncer.(*core.Manager)
+	// FedSU state transfer: mask + no-checking information (Sec. V). The
+	// probe resolves through any event-trigger middleware to the strategy
+	// underneath.
+	if donor, ok := sparse.UnwrapSyncer(e.clients[0].syncer).(*core.Manager); ok {
+		joiner, ok := sparse.UnwrapSyncer(syncer).(*core.Manager)
 		if !ok {
 			return nil, fmt.Errorf("fl: factory produced %T for a FedSU fleet", syncer)
 		}

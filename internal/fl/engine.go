@@ -57,6 +57,20 @@ type Config struct {
 	// default, and the emulation's normal setting — in-process clients
 	// cannot die) keeps blocking barriers.
 	CollectiveDeadline time.Duration
+	// Async switches the run to buffered-async rounds (Async.K >= 1):
+	// clients become independent arrival processes and the server applies
+	// a staleness-weighted global every K contributions. The zero value
+	// keeps synchronous barrier rounds. Async mode requires a full-vector
+	// strategy (fedavg, cmfl, qsgd); subset-submitting strategies (fedsu,
+	// apf) are rejected at construction because their per-client masks
+	// cannot fold into one shared accumulator.
+	Async AsyncConfig
+	// EventThreshold enables event-triggered participation: a client
+	// offers an upload only when the L2 norm of its accumulated change
+	// since its last offer crosses the threshold, abstaining with
+	// header-only traffic otherwise. Zero disables gating. Composes with
+	// every strategy and with both sync and async rounds.
+	EventThreshold float64
 	// DType declares the compute precision the model builder was configured
 	// for. The engine derives the actual precision from the built replicas
 	// (batches, evaluation, and the optimizer all follow the model's
@@ -111,6 +125,10 @@ type RoundStats struct {
 	// Timeouts is the number of collectives this round that were closed by
 	// deadline expiry instead of filling naturally.
 	Timeouts int
+	// StaleDrops is the number of contributions discarded for exceeding
+	// AsyncConfig.MaxStaleness during this async version window (zero in
+	// synchronous mode).
+	StaleDrops int
 }
 
 // Engine drives an emulated federated run.
@@ -185,6 +203,14 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 	if cfg.CollectiveDeadline > 0 {
 		server.SetDeadline(cfg.CollectiveDeadline)
 	}
+	if cfg.Async.Enabled() {
+		if err := server.SetAsync(cfg.Async); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.EventThreshold < 0 {
+		return nil, fmt.Errorf("fl: EventThreshold = %v must be >= 0", cfg.EventThreshold)
+	}
 	if shards == nil {
 		shards = data.PartitionDirichlet(ds, cfg.NumClients, cfg.DirichletAlpha, cfg.Seed)
 	} else if len(shards) != cfg.NumClients {
@@ -213,6 +239,16 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 		}
 		optimizer := opt.NewSGD(cfg.LR, optOpts...)
 		syncer := factory(i, model.Size(), server)
+		if cfg.Async.Enabled() {
+			switch sparse.UnwrapSyncer(syncer).Name() {
+			case "fedavg", "cmfl", "qsgd":
+			default:
+				return nil, fmt.Errorf("fl: async mode requires a full-vector strategy (fedavg/cmfl/qsgd), got %q: subset submissions cannot fold into the shared async accumulator", sparse.UnwrapSyncer(syncer).Name())
+			}
+		}
+		if cfg.EventThreshold > 0 {
+			syncer = sparse.NewEventTrigger(syncer, cfg.EventThreshold)
+		}
 		c := NewClient(i, model, optimizer, shards[i], syncer, cfg.Seed+int64(i)*7919)
 		c.SetProximal(cfg.ProxMu)
 		e.clients = append(e.clients, c)
@@ -271,6 +307,9 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	// not burn a full round of local SGD first.
 	if err := ctx.Err(); err != nil {
 		return RoundStats{}, err
+	}
+	if e.cfg.Async.Enabled() {
+		return RoundStats{}, fmt.Errorf("fl: RunRound is the synchronous-barrier driver; async mode runs through Run (event loop)")
 	}
 	// Dynamic departures (RemoveClient) can drain the roster entirely; every
 	// aggregate below divides by the client count and probes clients[0].
@@ -363,7 +402,7 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	stats.TrainLoss /= float64(len(e.clients))
 	stats.Traffic = trafficTotal
 	stats.SparsificationRatio = ratioSum / float64(len(e.clients))
-	if pc, ok := e.clients[0].syncer.(interface{ PredictableCount() int }); ok {
+	if pc, ok := sparse.UnwrapSyncer(e.clients[0].syncer).(interface{ PredictableCount() int }); ok {
 		stats.PredictableFraction = float64(pc.PredictableCount()) / float64(e.evalModel.Size())
 	}
 
@@ -400,6 +439,11 @@ func (e *Engine) Run(ctx context.Context, rounds, evalEvery int) ([]RoundStats, 
 	if evalEvery <= 0 {
 		evalEvery = 1
 	}
+	if e.cfg.Async.Enabled() {
+		// Async mode: `rounds` counts global applications (versions), the
+		// async analogue of a round.
+		return e.runAsync(ctx, rounds, evalEvery)
+	}
 	var out []RoundStats
 	for i := 0; i < rounds; i++ {
 		if err := ctx.Err(); err != nil {
@@ -424,7 +468,12 @@ func (e *Engine) EvaluateGlobal() (acc, loss float64) {
 		nan := math.NaN()
 		return nan, nan
 	}
-	e.evalModel.LoadVector(e.clients[0].model.Vector())
+	return e.evaluateVector(e.clients[0].model.Vector())
+}
+
+// evaluateVector scores an arbitrary parameter vector on the held-out set.
+func (e *Engine) evaluateVector(vec []float64) (acc, loss float64) {
+	e.evalModel.LoadVector(vec)
 	var accSum, lossSum float64
 	n := 0
 	for _, b := range e.evalX {

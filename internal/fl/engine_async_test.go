@@ -1,0 +1,270 @@
+package fl
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"fedsu/internal/data"
+	"fedsu/internal/nn"
+	"fedsu/internal/par"
+	"fedsu/internal/sparse"
+)
+
+// tinyAsyncEngine builds (without running) a 4-client engine in buffered-
+// async mode, mirroring tinyEngine's workload.
+func tinyAsyncEngine(t *testing.T, strategy string, acfg AsyncConfig, eventThreshold float64) *Engine {
+	t.Helper()
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tiny", Channels: 1, Size: 8, Classes: 4,
+		Samples: 512, Noise: 0.2, Jitter: 1, Seed: 11,
+	})
+	cfg := Config{
+		NumClients:     4,
+		LocalIters:     5,
+		BatchSize:      8,
+		LR:             0.05,
+		WeightDecay:    0.0005,
+		DirichletAlpha: 1.0,
+		EvalSamples:    128,
+		EvalBatch:      64,
+		Seed:           3,
+		Async:          acfg,
+		EventThreshold: eventThreshold,
+	}
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 4, Seed: 5}, 24)
+	}
+	factory, err := StrategyFactory(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(cfg, builder, ds, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineAsyncLearns: the buffered-async event loop trains — accuracy
+// climbs, emulated time advances monotonically, and every apply window
+// reports K participants.
+func TestEngineAsyncLearns(t *testing.T) {
+	e := tinyAsyncEngine(t, "fedavg", AsyncConfig{K: 2, MaxStaleness: 8, StalenessWeight: 0.5}, 0)
+	stats, err := e.Run(context.Background(), 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 24 {
+		t.Fatalf("got %d apply stats, want 24", len(stats))
+	}
+	last := stats[len(stats)-1]
+	if last.Accuracy <= 0.5 {
+		t.Errorf("final accuracy = %v, want > 0.5", last.Accuracy)
+	}
+	prev := 0.0
+	for _, st := range stats {
+		if st.SimTime < prev {
+			t.Fatalf("apply %d: emulated time went backwards (%v after %v)", st.Round, st.SimTime, prev)
+		}
+		prev = st.SimTime
+		if st.Participants != 2 {
+			t.Errorf("apply %d: %d participants, want K=2", st.Round, st.Participants)
+		}
+		if st.Traffic.UpBytes <= 0 {
+			t.Errorf("apply %d: no upload traffic", st.Round)
+		}
+		if math.IsNaN(st.TrainLoss) {
+			t.Errorf("apply %d: NaN train loss", st.Round)
+		}
+	}
+	if g := e.AsyncGlobal(); g == nil {
+		t.Fatal("no async global after the run")
+	}
+}
+
+// TestEngineAsyncDeterministicAcrossWorkers is the async extension of the
+// barrier bit-identity contract: the netem-driven event loop serializes
+// arrivals in a seeded order, and the element-sharded fold is worker-count
+// independent, so the final global must be BIT-identical at 1, 2, and 7
+// par workers.
+func TestEngineAsyncDeterministicAcrossWorkers(t *testing.T) {
+	run := func() ([]float64, []RoundStats) {
+		e := tinyAsyncEngine(t, "fedavg", AsyncConfig{K: 2, MaxStaleness: 8, StalenessWeight: 0.5}, 0)
+		stats, err := e.Run(context.Background(), 10, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.AsyncGlobal(), stats
+	}
+	var want []float64
+	var wantStats []RoundStats
+	for wi, workers := range []int{1, 2, 7} {
+		prev := par.SetWorkers(workers)
+		got, stats := run()
+		par.SetWorkers(prev)
+		if wi == 0 {
+			want, wantStats = got, stats
+			continue
+		}
+		if !sameBits(got, want) {
+			t.Fatalf("workers=%d: final async global deviates bitwise from workers=1", workers)
+		}
+		for i := range stats {
+			if math.Float64bits(stats[i].SimTime) != math.Float64bits(wantStats[i].SimTime) {
+				t.Fatalf("workers=%d apply %d: emulated time diverged", workers, i)
+			}
+			if stats[i].Traffic != wantStats[i].Traffic {
+				t.Fatalf("workers=%d apply %d: traffic accounting diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineAsyncEventTriggerRuns: async + event-triggered participation
+// compose — some cycles are gated off (header-only), upload bytes shrink
+// versus the ungated run, and the run still reaches its apply target.
+func TestEngineAsyncEventTriggerRuns(t *testing.T) {
+	run := func(thr float64) (up, triggered, suppressed int) {
+		e := tinyAsyncEngine(t, "fedavg", AsyncConfig{K: 2, MaxStaleness: 8, StalenessWeight: 0.5}, thr)
+		stats, err := e.Run(context.Background(), 12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stats {
+			up += st.Traffic.UpBytes
+		}
+		if e.AsyncGlobal() == nil {
+			t.Fatal("no global produced")
+		}
+		for _, c := range e.clients {
+			if et, ok := c.syncer.(*sparse.EventTrigger); ok {
+				tr, s := et.TriggerCounts()
+				triggered += tr
+				suppressed += s
+			} else if thr > 0 {
+				t.Fatalf("client %d syncer is %T, want *sparse.EventTrigger", c.ID, c.syncer)
+			}
+		}
+		return up, triggered, suppressed
+	}
+	// A threshold in the range of per-cycle drift gates some, not all,
+	// cycles; training keeps making enough progress to reach 12 applies.
+	// Both runs need the same 24 contributions to reach 12 applies of K=2,
+	// so the saving shows up per synchronized cycle: suppressed cycles ship
+	// header-only messages instead of the full vector.
+	gatedUp, gatedTrig, suppressed := run(0.25)
+	openUp, openTrig, _ := run(0)
+	if suppressed == 0 {
+		t.Fatal("threshold 0.25 suppressed no cycles; gating never engaged")
+	}
+	perCycleOpen := float64(openUp) / float64(openTrig)
+	perCycleGated := float64(gatedUp) / float64(gatedTrig+suppressed)
+	if perCycleGated >= perCycleOpen {
+		t.Errorf("event gating did not reduce per-cycle uploads: %.0f gated vs %.0f open",
+			perCycleGated, perCycleOpen)
+	}
+}
+
+// TestEngineAsyncRejectsSubsetStrategies: FedSU and APF submit
+// subset-length vectors, which the weighted async fold cannot align;
+// construction must fail with a clear error rather than corrupting the
+// accumulator at runtime.
+func TestEngineAsyncRejectsSubsetStrategies(t *testing.T) {
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tiny", Channels: 1, Size: 8, Classes: 4,
+		Samples: 256, Noise: 0.2, Jitter: 1, Seed: 11,
+	})
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 4, Seed: 5}, 24)
+	}
+	for _, strategy := range []string{"fedsu", "apf"} {
+		factory, err := StrategyFactory(strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			NumClients: 4, LocalIters: 2, BatchSize: 8, LR: 0.05,
+			DirichletAlpha: 1.0, EvalSamples: 64, EvalBatch: 64, Seed: 3,
+			Async: AsyncConfig{K: 2},
+		}
+		if _, err := NewEngine(cfg, builder, ds, factory); err == nil {
+			t.Errorf("async engine accepted subset-length strategy %q", strategy)
+		} else if !strings.Contains(err.Error(), strategy) {
+			t.Errorf("rejection for %q does not name the strategy: %v", strategy, err)
+		}
+	}
+}
+
+// TestEngineAsyncRunRoundRefused: the synchronous per-round driver has no
+// meaning in async mode.
+func TestEngineAsyncRunRoundRefused(t *testing.T) {
+	e := tinyAsyncEngine(t, "fedavg", AsyncConfig{K: 2}, 0)
+	if _, err := e.RunRound(context.Background(), true); err == nil {
+		t.Fatal("RunRound succeeded in async mode")
+	}
+}
+
+// TestEngineRejectsNegativeEventThreshold: misconfiguration fails fast.
+func TestEngineRejectsNegativeEventThreshold(t *testing.T) {
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tiny", Channels: 1, Size: 8, Classes: 4,
+		Samples: 256, Noise: 0.2, Jitter: 1, Seed: 11,
+	})
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 4, Seed: 5}, 24)
+	}
+	factory, err := StrategyFactory("fedavg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		NumClients: 4, LocalIters: 2, BatchSize: 8, LR: 0.05,
+		DirichletAlpha: 1.0, EvalSamples: 64, EvalBatch: 64, Seed: 3,
+		EventThreshold: -0.1,
+	}
+	if _, err := NewEngine(cfg, builder, ds, factory); err == nil {
+		t.Fatal("negative EventThreshold accepted")
+	}
+}
+
+// TestEngineSyncEventTriggerAllStrategies: in synchronous mode the event
+// trigger wraps every strategy, including the probe-heavy ones (FedSU state
+// transfer, APF) — the unwrapping middleware must keep their internals
+// reachable.
+func TestEngineSyncEventTriggerAllStrategies(t *testing.T) {
+	ds := data.Synthesize(data.SynthConfig{
+		Name: "tiny", Channels: 1, Size: 8, Classes: 4,
+		Samples: 256, Noise: 0.2, Jitter: 1, Seed: 11,
+	})
+	builder := func() *nn.Model {
+		return nn.NewMLP(nn.ModelConfig{InChannels: 1, ImageSize: 8, NumClasses: 4, Seed: 5}, 24)
+	}
+	for _, strategy := range StrategyNames() {
+		strategy := strategy
+		t.Run(strategy, func(t *testing.T) {
+			t.Parallel()
+			factory, err := StrategyFactory(strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				NumClients: 4, LocalIters: 2, BatchSize: 8, LR: 0.05,
+				DirichletAlpha: 1.0, EvalSamples: 64, EvalBatch: 64, Seed: 3,
+				EventThreshold: 0.5,
+			}
+			e, err := NewEngine(cfg, builder, ds, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := e.Run(context.Background(), 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stats) != 4 {
+				t.Fatalf("got %d rounds", len(stats))
+			}
+		})
+	}
+}

@@ -92,6 +92,16 @@ type Server struct {
 	// Cumulative fault counters (see EvictionCount / TimeoutCount).
 	evictions int
 	timeouts  int
+
+	// Buffered-async aggregation mode (see SetAsync / server_async.go).
+	// When enabled, submissions bypass the barrier machinery entirely:
+	// they fold into per-kind weighted accumulators as they arrive and the
+	// global applies every acfg.K contributions.
+	async bool
+	acfg  AsyncConfig
+	amu   sync.Mutex
+	achan map[string]*asyncChan
+	astale int
 }
 
 type opKey struct {
@@ -127,6 +137,15 @@ type op struct {
 	finished  bool
 	timer     *time.Timer
 	extended  bool
+
+	// gen increments every time this op shell is (re)armed by newOpLocked.
+	// A deadline timer captures the generation it was armed for, and expire
+	// ignores a firing whose generation no longer matches: a timer that
+	// outlives its barrier (fires after the op returned to the free list,
+	// or after the shell was recycled into a new collective — even one at
+	// the same (round, kind) key, which a checkpoint replay can produce)
+	// must be a no-op instead of evicting the new barrier's clients.
+	gen uint64
 
 	// Immutable after creation: the op's roster in ascending id order, and
 	// the id → position index.
@@ -233,17 +252,20 @@ func (s *Server) SetRoster(ids []int) {
 	}
 }
 
-// Readmit clears a client's evicted status (a rejoin after reconnecting);
-// it re-enters the roster at the next SetRoster/op creation.
+// Readmit clears a client's evicted status (a rejoin after reconnecting).
+// It does NOT edit the current roster: membership is declared by SetRoster
+// (or the implied {0..numClients-1}), and the readmitted id re-enters at
+// the next SetRoster that lists it (or the next op creation on the implied
+// roster). The historical behaviour — injecting the id straight into the
+// active roster — made later barriers of the in-flight session require a
+// submission from a client the caller's roster never listed, which
+// ghost-blocked the barrier when that client made no further calls; until
+// the next SetRoster, a readmitted client's submissions count through the
+// stray-contribution path instead.
 func (s *Server) Readmit(clientID int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.evicted[clientID] {
-		delete(s.evicted, clientID)
-		if s.roster != nil {
-			s.roster[clientID] = true
-		}
-	}
+	delete(s.evicted, clientID)
 }
 
 // Evicted returns the currently evicted client ids in ascending order.
@@ -375,6 +397,7 @@ func (s *Server) newOpLocked() *op {
 			}
 		}
 	}
+	o.gen++
 	o.done = make(chan struct{})
 	if s.roster != nil {
 		for id := range s.roster {
@@ -449,12 +472,21 @@ func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string
 		s.mu.Unlock()
 		return nil, &EvictedError{ClientID: clientID}
 	}
+	if s.async {
+		s.mu.Unlock()
+		return s.asyncSubmit(ctx, clientID, kind, values)
+	}
 	key := opKey{round: round, kind: kind}
 	o, ok := s.ops[key]
 	if !ok {
 		o = s.newOpLocked()
 		if s.deadline > 0 {
-			o.timer = time.AfterFunc(s.deadline, func() { s.expire(key) })
+			// The closure captures the op pointer and its generation: a
+			// firing that outlives this barrier (op recycled, shell reused —
+			// possibly under the same key after a checkpoint replay) fails
+			// the identity check in expire and is a no-op.
+			gen := o.gen
+			o.timer = time.AfterFunc(s.deadline, func() { s.expire(key, o, gen) })
 		}
 		s.ops[key] = o
 	}
@@ -721,10 +753,15 @@ func (o *op) detach(p int) {
 // is computed over the actual contributors. Evicting a client also removes
 // it from every other in-flight collective so a dead client cannot stall
 // the round's remaining barriers for another full deadline.
-func (s *Server) expire(key opKey) {
+//
+// armed and gen identify the barrier the timer was armed for. A stale
+// firing — the op completed and was recycled (possibly reused for a new
+// collective, even at the same key) between the timer going off and this
+// lock acquisition — fails the identity check and does nothing.
+func (s *Server) expire(key opKey, armed *op, gen uint64) {
 	s.mu.Lock()
 	o := s.ops[key]
-	if o == nil || o.finished || len(o.pending) == 0 {
+	if o == nil || o != armed || o.gen != gen || o.finished || len(o.pending) == 0 {
 		s.mu.Unlock()
 		return
 	}

@@ -152,6 +152,15 @@ type Config struct {
 	// alive straggler buys the barrier one deadline extension. Zero
 	// defaults to Deadline. Ignored without a Deadline.
 	HeartbeatGrace time.Duration
+	// Async switches the coordinator to buffered-async aggregation
+	// (fl.SetAsync): Aggregate calls return immediately with the current
+	// global instead of blocking on a round barrier, and the server
+	// applies a staleness-weighted global every Async.K contributions.
+	// The zero value keeps synchronous barriers. Note that over a real
+	// network the arrival order is wall-clock — the bit-level
+	// seed-determinism contract applies to the netem-driven emulation,
+	// not this transport.
+	Async fl.AsyncConfig
 }
 
 // aggKey identifies one collective for the reply-encoding cache.
@@ -218,8 +227,20 @@ func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
 		c.srv.SetDeadline(cfg.Deadline)
 		c.srv.SetAliveProbe(c.alive)
 	}
+	if cfg.Async.Enabled() {
+		if err := c.srv.SetAsync(cfg.Async); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
+
+// AsyncVersion returns the number of async global applications (zero in
+// synchronous mode).
+func (c *Coordinator) AsyncVersion() int { return c.srv.AsyncVersion() }
+
+// StaleDropCount returns contributions dropped for exceeding MaxStaleness.
+func (c *Coordinator) StaleDropCount() int { return c.srv.StaleDropCount() }
 
 // alive reports whether a client was heard from within the heartbeat
 // grace window; consulted by the server when a barrier deadline expires.
@@ -295,7 +316,7 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 		c.mu.Unlock()
 		return fmt.Errorf("flrpc: unknown client %d", args.ClientID)
 	}
-	if !c.begun[args.Round] {
+	if !c.begun[args.Round] && !c.cfg.Async.Enabled() {
 		// All connected clients participate in the real-network mode;
 		// stragglers are governed by actual wall-clock, not emulation. The
 		// roster and quorum are the ids that actually joined — a session
@@ -352,6 +373,14 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 	}
 	if res == nil {
 		reply.Nil = true
+		return nil
+	}
+	if c.cfg.Async.Enabled() {
+		// No reply cache in async mode: the global evolves with every K-th
+		// submission, so a (round, kind) key does not identify one stable
+		// result the way a closed barrier's mean does.
+		reply.Payload = sparse.EncodeVectorPayload(res)
+		c.counters.Add("agg_tx_bytes", int64(len(reply.Payload)))
 		return nil
 	}
 	// Every waiter of the collective receives the same mean; encode it once

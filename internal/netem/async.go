@@ -1,0 +1,65 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AsyncProcess is the asynchronous-rounds counterpart of Cluster.Round:
+// instead of a quorum cut over one synchronized cohort, each client is an
+// independent arrival process — train, upload, pull, repeat — and the
+// caller (the fl engine's event loop) advances simulated time from one
+// arrival to the next.
+//
+// The process shares the cluster's per-client heterogeneity draws (compute
+// speed, bandwidth multiplier) so sync and async comparisons see the same
+// device population, but carries a dedicated per-client RNG stream for
+// jitter and dropout: a client's k-th cycle draws the same noise no matter
+// how the other clients' arrivals interleave, which is what makes the
+// async schedule a pure function of (Config.Seed, per-client cycle
+// counts) — the determinism contract of DESIGN.md §5i.
+type AsyncProcess struct {
+	c    *Cluster
+	rngs []*rand.Rand
+}
+
+// AsyncProcess derives the per-client arrival model from the cluster.
+func (c *Cluster) AsyncProcess() *AsyncProcess {
+	rngs := make([]*rand.Rand, c.cfg.NumClients)
+	for i := range rngs {
+		// Distinct deterministic stream per client, decoupled from the
+		// cluster's own rng (which the sync path consumes round-by-round).
+		rngs[i] = rand.New(rand.NewSource(c.cfg.Seed*1_000_003 + int64(i)*7919 + 1))
+	}
+	return &AsyncProcess{c: c, rngs: rngs}
+}
+
+// CycleTime returns the wall-clock seconds client i needs for one full
+// cycle under the given load: download the global, train, upload, plus
+// two propagation latencies. The formula and the fair-share server cap
+// match Cluster.Round, with the jitter drawn from the client's private
+// stream.
+func (p *AsyncProcess) CycleTime(i int, l ClientLoad) float64 {
+	if i < 0 || i >= p.c.cfg.NumClients {
+		panic(fmt.Sprintf("netem: CycleTime client %d of %d", i, p.c.cfg.NumClients))
+	}
+	cfg := p.c.cfg
+	serverShare := Mbps(cfg.ServerBandwidthMbps) / float64(cfg.NumClients)
+	jitter := 1 + cfg.RoundJitter*(2*p.rngs[i].Float64()-1)
+	down := minf(Mbps(cfg.ClientDownlinkMbps)*p.c.bwMult[i], serverShare)
+	up := minf(Mbps(cfg.ClientUplinkMbps)*p.c.bwMult[i], serverShare)
+	return float64(l.DownBytes)/down +
+		l.ComputeSeconds/p.c.speeds[i]*jitter +
+		float64(l.UpBytes)/up +
+		2*cfg.LatencySeconds
+}
+
+// Dropped draws whether client i's arrival is lost this cycle (crash,
+// partition, battery death). A dropped cycle's work never reaches the
+// server; the client restarts its next cycle from the stale state it has.
+// The draw order per cycle is fixed — CycleTime at scheduling, Dropped at
+// arrival — so the schedule stays seed-deterministic.
+func (p *AsyncProcess) Dropped(i int) bool {
+	cfg := p.c.cfg
+	return cfg.DropoutProb > 0 && p.rngs[i].Float64() < cfg.DropoutProb
+}

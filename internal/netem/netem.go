@@ -163,10 +163,7 @@ func (c *Cluster) Round(loads []ClientLoad) RoundOutcome {
 	}
 	sort.Slice(order, func(a, b int) bool { return times[order[a]] < times[order[b]] })
 
-	quorum := int(float64(n)*c.cfg.Participation + 0.999999)
-	if quorum < 1 {
-		quorum = 1
-	}
+	quorum := quorumSize(n, c.cfg.Participation)
 	if quorum > len(order) {
 		// Mass dropout: the server settles for whoever survived. An empty
 		// round (everyone dropped) keeps the slowest client's time as the
@@ -198,6 +195,34 @@ func (c *Cluster) UniformLoad(downBytes, upBytes int, computeSeconds float64) []
 		loads[i] = ClientLoad{DownBytes: downBytes, UpBytes: upBytes, ComputeSeconds: computeSeconds}
 	}
 	return loads
+}
+
+// quorumTie is the absolute snap distance for quorum rounding: a product
+// participation·n within quorumTie of an integer is treated AS that integer
+// (the tie policy). This absorbs float64 representation error in fractions
+// like 0.7·10, where the binary product lands at 6.999999999999999 and a
+// naive Ceil would demand 7→7 but a fudge-factor like the historical
+// `+0.999999` could push 64·0.015625 = 1.0 up to 2, over-counting — or,
+// worse, products within 1e-6 *below* an integer could slip under the fudge
+// and under-count the quorum by one.
+const quorumTie = 1e-6
+
+// quorumSize is the participation quorum: the smallest count of clients
+// that covers fraction p of n, i.e. ⌈p·n⌉ with ties snapped to the nearest
+// integer (quorumTie policy) and a floor of one client.
+func quorumSize(n int, p float64) int {
+	x := float64(n) * p
+	if r := math.Round(x); math.Abs(x-r) <= quorumTie {
+		x = r
+	}
+	q := int(math.Ceil(x))
+	if q < 1 {
+		q = 1
+	}
+	if q > n {
+		q = n
+	}
+	return q
 }
 
 func minf(a, b float64) float64 {

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Unwrapper is implemented by syncer middleware (EventTrigger) to expose
+// the strategy underneath; engine code that probes for a concrete strategy
+// (FedSU state transfer, checkpointing, predictability accounting) resolves
+// wrappers through UnwrapSyncer first.
+type Unwrapper interface {
+	Unwrap() Syncer
+}
+
+// UnwrapSyncer peels syncer middleware until it reaches the underlying
+// strategy.
+func UnwrapSyncer(s Syncer) Syncer {
+	for {
+		u, ok := s.(Unwrapper)
+		if !ok {
+			return s
+		}
+		s = u.Unwrap()
+	}
+}
+
+// EventTrigger wraps any Syncer with event-triggered participation
+// (Online-Fed's partial-sharing scheme): the client offers an upload only
+// when the L2 norm of its accumulated local change — the drift since the
+// vector it last offered — crosses Threshold. Below the threshold the
+// inner strategy runs with contributor forced to false, so the client
+// abstains through the strategy's ordinary abstention path: it still joins
+// every collective (keeping barrier bookkeeping and fleet-consistent
+// strategy state), ships a header-only message on the wire, and receives
+// the round's global result.
+//
+// Drift accumulates across abstained rounds: the reference vector advances
+// only when an upload is actually offered, so a client whose per-round
+// change is small still contributes once the changes compound past the
+// threshold. A zero threshold disables gating (every round contributes,
+// exactly the unwrapped behaviour). The first synchronization always
+// contributes — there is no reference yet to measure drift against.
+//
+// EventTrigger composes with every strategy (FedSU, CMFL, APF, QSGD,
+// FedAvg) because it speaks only the Syncer interface and dispatches
+// through SyncContext; an inner strategy with its own gating (CMFL
+// relevance) simply sees fewer contributor rounds.
+type EventTrigger struct {
+	inner     Syncer
+	threshold float64
+	ref       []float64
+
+	// triggered / suppressed count contributor rounds passed through vs
+	// gated off, for diagnostics and tests.
+	triggered  int
+	suppressed int
+}
+
+var _ ContextSyncer = (*EventTrigger)(nil)
+var _ Unwrapper = (*EventTrigger)(nil)
+
+// NewEventTrigger wraps inner with an upload threshold on the L2 norm of
+// the accumulated local change. threshold <= 0 passes every round through.
+func NewEventTrigger(inner Syncer, threshold float64) *EventTrigger {
+	return &EventTrigger{inner: inner, threshold: threshold}
+}
+
+// Name identifies the wrapped strategy; the trigger is transparent
+// middleware, so strategy-name plumbing (round drivers, checkpoints)
+// keeps working.
+func (e *EventTrigger) Name() string { return e.inner.Name() }
+
+// Unwrap implements Unwrapper.
+func (e *EventTrigger) Unwrap() Syncer { return e.inner }
+
+// Threshold returns the configured trigger threshold.
+func (e *EventTrigger) Threshold() float64 { return e.threshold }
+
+// TriggerCounts reports contributor rounds passed through vs suppressed.
+func (e *EventTrigger) TriggerCounts() (triggered, suppressed int) {
+	return e.triggered, e.suppressed
+}
+
+// Sync implements Syncer.
+func (e *EventTrigger) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	return e.SyncCtx(context.Background(), round, local, contributor)
+}
+
+// SyncCtx implements ContextSyncer.
+func (e *EventTrigger) SyncCtx(ctx context.Context, round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	if contributor && e.threshold > 0 && e.ref != nil {
+		if len(e.ref) != len(local) {
+			return nil, Traffic{}, fmt.Errorf("event trigger: vector length %d, reference %d", len(local), len(e.ref))
+		}
+		if driftNorm(local, e.ref) < e.threshold {
+			contributor = false
+			e.suppressed++
+		}
+	}
+	if contributor {
+		e.triggered++
+		// The reference advances to the vector offered this round; drift for
+		// the next trigger decision accumulates from here.
+		if e.ref == nil {
+			e.ref = make([]float64, len(local))
+		}
+		copy(e.ref, local)
+	}
+	return SyncContext(ctx, e.inner, round, local, contributor)
+}
+
+// driftNorm is the L2 norm of a-b.
+func driftNorm(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// recordingSyncer is a fake strategy capturing the contributor flag the
+// wrapper hands down.
+type recordingSyncer struct {
+	name  string
+	calls []bool // contributor flag per call
+}
+
+func (r *recordingSyncer) Name() string { return r.name }
+
+func (r *recordingSyncer) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
+	r.calls = append(r.calls, contributor)
+	return local, Traffic{}, nil
+}
+
+func TestEventTriggerFirstSyncAlwaysContributes(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 100) // huge threshold
+	if _, _, err := e.Sync(0, []float64{1, 2}, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.calls) != 1 || !inner.calls[0] {
+		t.Fatalf("first sync calls = %v, want one contributing call", inner.calls)
+	}
+	if tr, sup := e.TriggerCounts(); tr != 1 || sup != 0 {
+		t.Fatalf("counts = %d/%d, want 1 triggered, 0 suppressed", tr, sup)
+	}
+}
+
+func TestEventTriggerSuppressesBelowThreshold(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 1.0)
+	base := []float64{1, 1, 1, 1}
+	if _, _, err := e.Sync(0, base, true); err != nil { // establishes the reference
+		t.Fatal(err)
+	}
+	// Drift 0.4 < 1.0: gated off, inner sees contributor=false.
+	moved := []float64{1.4, 1, 1, 1}
+	if _, _, err := e.Sync(1, moved, true); err != nil {
+		t.Fatal(err)
+	}
+	if inner.calls[1] {
+		t.Fatal("below-threshold round reached the strategy as a contributor")
+	}
+	if tr, sup := e.TriggerCounts(); tr != 1 || sup != 1 {
+		t.Fatalf("counts = %d/%d, want 1/1", tr, sup)
+	}
+	// Drift 1.5 > 1.0: passes.
+	if _, _, err := e.Sync(2, []float64{2.5, 1, 1, 1}, true); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.calls[2] {
+		t.Fatal("above-threshold round did not contribute")
+	}
+}
+
+// TestEventTriggerDriftAccumulates: per-round changes each below the
+// threshold must compound — the reference only advances on an actual
+// offer, so a slowly-moving client eventually uploads.
+func TestEventTriggerDriftAccumulates(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 1.0)
+	v := []float64{0, 0, 0, 0}
+	if _, _, err := e.Sync(0, v, true); err != nil { // reference = 0
+		t.Fatal(err)
+	}
+	// Step 0.3 per round along one axis: rounds 1..3 have drift 0.3, 0.6,
+	// 0.9 (all suppressed); round 4 reaches 1.2 and fires.
+	contributions := 0
+	for round := 1; round <= 4; round++ {
+		v = []float64{0.3 * float64(round), 0, 0, 0}
+		if _, _, err := e.Sync(round, v, true); err != nil {
+			t.Fatal(err)
+		}
+		if inner.calls[round] {
+			contributions++
+			if round != 4 {
+				t.Fatalf("triggered at round %d (drift %.1f), want round 4", round, 0.3*float64(round))
+			}
+		}
+	}
+	if contributions != 1 {
+		t.Fatalf("%d contributions over the ramp, want exactly 1", contributions)
+	}
+	if tr, sup := e.TriggerCounts(); tr != 2 || sup != 3 {
+		t.Fatalf("counts = %d/%d, want 2 triggered / 3 suppressed", tr, sup)
+	}
+}
+
+// TestEventTriggerReferenceAdvancesOnlyOnOffer: after an upload, drift
+// measures from the newly offered vector, not the original one.
+func TestEventTriggerReferenceAdvancesOnlyOnOffer(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 1.0)
+	e.Sync(0, []float64{0, 0}, true)
+	e.Sync(1, []float64{2, 0}, true) // drift 2 -> offers, ref = (2, 0)
+	if !inner.calls[1] {
+		t.Fatal("round 1 should have contributed")
+	}
+	// (2.5, 0) is far from the ORIGINAL reference but only 0.5 from the
+	// advanced one: must be suppressed.
+	e.Sync(2, []float64{2.5, 0}, true)
+	if inner.calls[2] {
+		t.Fatal("reference did not advance with the round-1 offer")
+	}
+}
+
+// TestEventTriggerQuorumAbstentionUntouched: a round where the engine
+// already marked the client non-contributor passes through without
+// counting or moving the reference.
+func TestEventTriggerQuorumAbstentionUntouched(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 1.0)
+	e.Sync(0, []float64{0, 0}, true)
+	e.Sync(1, []float64{5, 0}, false) // out of quorum: no gating decision
+	if inner.calls[1] {
+		t.Fatal("non-quorum round reached the strategy as a contributor")
+	}
+	if tr, sup := e.TriggerCounts(); tr != 1 || sup != 0 {
+		t.Fatalf("counts = %d/%d, want 1/0 (quorum abstention is not a suppression)", tr, sup)
+	}
+	// Reference still (0,0): the big move at round 1 was never offered, so
+	// round 2 fires on it.
+	e.Sync(2, []float64{5, 0}, true)
+	if !inner.calls[2] {
+		t.Fatal("drift accumulated during quorum abstention was lost")
+	}
+}
+
+func TestEventTriggerZeroThresholdPassesEverything(t *testing.T) {
+	inner := &recordingSyncer{name: "fedavg"}
+	e := NewEventTrigger(inner, 0)
+	for round := 0; round < 3; round++ {
+		if _, _, err := e.Sync(round, []float64{1, 2}, true); err != nil {
+			t.Fatal(err)
+		}
+		if !inner.calls[round] {
+			t.Fatalf("round %d gated despite zero threshold", round)
+		}
+	}
+}
+
+func TestEventTriggerLengthMismatch(t *testing.T) {
+	e := NewEventTrigger(&recordingSyncer{name: "fedavg"}, 1.0)
+	e.Sync(0, []float64{1, 2}, true)
+	if _, _, err := e.Sync(1, []float64{1, 2, 3}, true); err == nil {
+		t.Fatal("length change accepted silently")
+	}
+}
+
+func TestUnwrapSyncerPeelsMiddleware(t *testing.T) {
+	inner := &recordingSyncer{name: "cmfl"}
+	wrapped := NewEventTrigger(NewEventTrigger(inner, 0.5), 0.25)
+	if got := UnwrapSyncer(wrapped); got != Syncer(inner) {
+		t.Fatalf("UnwrapSyncer returned %T, want the inner strategy", got)
+	}
+	if wrapped.Name() != "cmfl" {
+		t.Fatalf("Name() = %q, want the delegated %q", wrapped.Name(), "cmfl")
+	}
+	// A bare strategy unwraps to itself.
+	if got := UnwrapSyncer(inner); got != Syncer(inner) {
+		t.Fatal("UnwrapSyncer changed a non-wrapped strategy")
+	}
+}
+
+func TestDriftNorm(t *testing.T) {
+	a := []float64{3, 0, 4}
+	b := []float64{0, 0, 0}
+	if got := driftNorm(a, b); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("driftNorm = %v, want 5", got)
+	}
+}
