@@ -16,16 +16,21 @@ tier1:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: scratchpair, ctxdispatch, determinism,
-# errwrap, precision (see DESIGN.md §5e). Suppress a finding with
-# `//lint:allow <analyzer> <reason>` on or above the offending line.
+# Project-specific static analysis: the syntactic/type-based checks
+# (scratchpair, ctxdispatch, determinism, errwrap, precision; DESIGN.md
+# §5e) plus the CFG/dataflow concurrency-discipline checks (lockhold,
+# goleak, tokenpair, sharedmut; DESIGN.md §5j). Suppress a finding with
+# `//lint:allow <analyzer> -- <reason>` on or above the offending line;
+# the ` -- reason` part is mandatory.
 lint:
 	$(GO) run ./cmd/fedsu-lint ./...
 
 # `./...` keeps both lanes current as packages grow: tier1 picks up the
 # async-mode suites (fl server/engine async, netem arrival processes,
 # flrpc async wire) automatically, and the race lane hammers the
-# deadline-expiry-vs-completion and async-fold paths under the detector.
+# deadline-expiry-vs-completion path, the async submit/apply interleaving
+# (fl TestAsyncSubmitApplyRace, which also proves handed-out globals stay
+# immutable), and the internal/exp grid scheduler under the detector.
 race:
 	$(GO) test -race ./...
 

@@ -11,8 +11,9 @@
 //	fedsu-lint -list                 # show the analyzers and their contracts
 //
 // Findings print as file:line:col: analyzer: message, one per line.
-// Suppress an individual finding with `//lint:allow <analyzer> <reason>`
-// on (or directly above) the offending line.
+// Suppress an individual finding with `//lint:allow <analyzer> -- <reason>`
+// on (or directly above) the offending line; the ` -- reason` part is
+// mandatory, and a directive without it is itself reported as malformed.
 package main
 
 import (
@@ -26,17 +27,27 @@ import (
 	"fedsu/internal/analysis/determinism"
 	"fedsu/internal/analysis/driver"
 	"fedsu/internal/analysis/errwrap"
+	"fedsu/internal/analysis/goleak"
+	"fedsu/internal/analysis/lockhold"
 	"fedsu/internal/analysis/precision"
 	"fedsu/internal/analysis/scratchpair"
+	"fedsu/internal/analysis/sharedmut"
+	"fedsu/internal/analysis/tokenpair"
 )
 
-// analyzers is the full fedsu-lint suite.
+// analyzers is the full fedsu-lint suite: the syntactic/type-based checks
+// from earlier issues plus the CFG/dataflow concurrency-discipline checks
+// (lockhold, goleak, tokenpair, sharedmut).
 var analyzers = []*analysis.Analyzer{
 	scratchpair.Analyzer,
 	ctxdispatch.Analyzer,
 	determinism.Analyzer,
 	errwrap.Analyzer,
 	precision.Analyzer,
+	lockhold.Analyzer,
+	goleak.Analyzer,
+	tokenpair.Analyzer,
+	sharedmut.Analyzer,
 }
 
 func main() {

@@ -28,13 +28,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		clients  = flag.Int("clients", 2, "expected number of clients")
-		workload = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
-		scale    = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the clients)")
-		seed     = flag.Int64("seed", 1, "model seed (must match the clients)")
-		deadline = flag.Duration("deadline", 0, "collective barrier deadline; clients missing it are evicted (0 = wait forever)")
-		hbGrace  = flag.Duration("hb-grace", 0, "treat clients heard from this recently as alive at deadline expiry (0 = deadline)")
+		addr      = flag.String("addr", ":7070", "listen address")
+		clients   = flag.Int("clients", 2, "expected number of clients")
+		workload  = flag.String("workload", "cnn", "model/dataset pair: "+strings.Join(fedsu.WorkloadNames(), ", "))
+		scale     = flag.Int("scale", 0, "model width divisor (0 = per-workload default; must match the clients)")
+		seed      = flag.Int64("seed", 1, "model seed (must match the clients)")
+		deadline  = flag.Duration("deadline", 0, "collective barrier deadline; clients missing it are evicted (0 = wait forever)")
+		hbGrace   = flag.Duration("hb-grace", 0, "treat clients heard from this recently as alive at deadline expiry (0 = deadline)")
 		async     = flag.Bool("async", false, "buffered-async aggregation: fold submissions as they arrive, no round barrier")
 		asyncK    = flag.Int("k", 0, "async buffer size: apply the global every K contributions (default clients/2)")
 		staleness = flag.Int("staleness", 8, "async: drop contributions more than this many versions behind (-1 = unlimited)")

@@ -15,11 +15,13 @@
 //
 // Any diagnostic can be silenced at a specific site with a line directive
 //
-//	//lint:allow <analyzer> [reason...]
+//	//lint:allow <analyzer> -- <reason>
 //
 // placed either at the end of the offending line or alone on the line
-// directly above it. Suppressions are deliberate, reviewable statements:
-// include the reason.
+// directly above it. Suppressions are deliberate, reviewable statements,
+// so the ` -- reason` part is mandatory: a directive without it does not
+// suppress anything and is itself reported as malformed (that report
+// cannot be suppressed).
 package analysis
 
 import (
@@ -68,22 +70,68 @@ type Diagnostic struct {
 	Message string
 }
 
+// CalledFunc resolves a call's callee to its function object: a plain
+// identifier inside the defining package, or the selected name of a
+// package-qualified function or method call. It returns nil for calls
+// through function-typed values and other indirect forms. Every analyzer
+// that matches calls against a name table routes through here.
+func CalledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
 // AllowDirective is the comment prefix that suppresses a finding.
 const AllowDirective = "//lint:allow "
 
+// parseAllow splits an allow directive comment into the named analyzer and
+// the written reason. ok is false for comments that are not allow
+// directives at all; a directive whose ` -- reason` part is missing or
+// empty comes back with ok true and an empty reason (malformed).
+func parseAllow(comment string) (analyzer, reason string, ok bool) {
+	text, ok := strings.CutPrefix(comment, AllowDirective)
+	if !ok {
+		return "", "", false
+	}
+	head, tail, hasReason := strings.Cut(text, " -- ")
+	fields := strings.Fields(head)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	if !hasReason || strings.TrimSpace(tail) == "" {
+		return fields[0], "", true
+	}
+	return fields[0], strings.TrimSpace(tail), true
+}
+
 // allowedLines returns the set of line numbers in f (keyed by line) on
-// which findings of the named analyzer are suppressed. A directive covers
-// its own line and, when it is the only thing on its line, the line below.
-func allowedLines(fset *token.FileSet, f *ast.File, analyzer string) map[int]bool {
+// which findings of the named analyzer are suppressed, plus a diagnostic
+// for every directive that names the analyzer but carries no ` -- reason`
+// (such directives suppress nothing). A well-formed directive covers its
+// own line and, when it is the only thing on its line, the line below.
+func allowedLines(fset *token.FileSet, f *ast.File, analyzer string) (map[int]bool, []Diagnostic) {
 	lines := map[int]bool{}
+	var malformed []Diagnostic
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, AllowDirective)
-			if !ok {
+			name, reason, ok := parseAllow(c.Text)
+			if !ok || name != analyzer {
 				continue
 			}
-			fields := strings.Fields(text)
-			if len(fields) == 0 || fields[0] != analyzer {
+			if reason == "" {
+				malformed = append(malformed, Diagnostic{
+					Pos: c.Pos(),
+					Message: fmt.Sprintf("//lint:allow %s directive lacks a ` -- reason`; suppressions must state why (the finding is not suppressed)",
+						analyzer),
+				})
 				continue
 			}
 			pos := fset.Position(c.Pos())
@@ -91,7 +139,7 @@ func allowedLines(fset *token.FileSet, f *ast.File, analyzer string) map[int]boo
 			lines[pos.Line+1] = true
 		}
 	}
-	return lines
+	return lines, malformed
 }
 
 // RunAnalyzer executes a on one type-checked package and returns the
@@ -112,8 +160,17 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
 
-	// Filter suppressed findings file by file.
+	// Filter suppressed findings file by file. Malformed directives naming
+	// this analyzer are reported from every file — a reasonless allow is a
+	// hygiene failure even when nothing on its line currently fires — and
+	// those reports bypass the filter by construction.
 	allowed := map[*ast.File]map[int]bool{}
+	var malformed []Diagnostic
+	for _, f := range files {
+		lines, bad := allowedLines(fset, f, a.Name)
+		allowed[f] = lines
+		malformed = append(malformed, bad...)
+	}
 	fileOf := func(pos token.Pos) *ast.File {
 		for _, f := range files {
 			if f.FileStart <= pos && pos < f.FileEnd {
@@ -124,19 +181,12 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		f := fileOf(d.Pos)
-		if f != nil {
-			lines, ok := allowed[f]
-			if !ok {
-				lines = allowedLines(fset, f, a.Name)
-				allowed[f] = lines
-			}
-			if lines[fset.Position(d.Pos).Line] {
-				continue
-			}
+		if f := fileOf(d.Pos); f != nil && allowed[f][fset.Position(d.Pos).Line] {
+			continue
 		}
 		kept = append(kept, d)
 	}
+	kept = append(kept, malformed...)
 	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
 	return kept, nil
 }

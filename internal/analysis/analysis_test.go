@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// runOn type-checks src as a single-file package and runs a through
+// RunAnalyzer, returning the surviving diagnostics.
+func runOn(t *testing.T, a *Analyzer, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := RunAnalyzer(a, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatalf("RunAnalyzer: %v", err)
+	}
+	return diags
+}
+
+// flagReturns reports a diagnostic on every return statement; the tests
+// below steer it with //lint:allow directives.
+var flagReturns = &Analyzer{
+	Name: "flagret",
+	Doc:  "flagret: test analyzer that flags every return statement",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					pass.Reportf(ret.Pos(), "return statement")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllowWithReasonSuppresses(t *testing.T) {
+	src := `package p
+func a() int {
+	return 1 //lint:allow flagret -- sanctioned in this test
+}
+func b() int {
+	//lint:allow flagret -- directive on the line above also covers it
+	return 2
+}
+func c() int {
+	return 3
+}
+`
+	diags := runOn(t, flagReturns, src)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the unsuppressed return): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "return statement") {
+		t.Fatalf("unexpected diagnostic %q", diags[0].Message)
+	}
+}
+
+func TestAllowWithoutReasonDoesNotSuppress(t *testing.T) {
+	src := `package p
+func a() int {
+	return 1 //lint:allow flagret
+}
+`
+	diags := runOn(t, flagReturns, src)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (finding + malformed directive): %v", len(diags), diags)
+	}
+	var sawFinding, sawMalformed bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "return statement") {
+			sawFinding = true
+		}
+		if strings.Contains(d.Message, "lacks a ` -- reason`") {
+			sawMalformed = true
+		}
+	}
+	if !sawFinding {
+		t.Error("reasonless directive suppressed the finding; it must not")
+	}
+	if !sawMalformed {
+		t.Error("reasonless directive was not itself reported as malformed")
+	}
+}
+
+func TestMalformedDirectiveReportedEvenWhenNothingFires(t *testing.T) {
+	src := `package p
+//lint:allow flagret
+var x = 1
+`
+	diags := runOn(t, flagReturns, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "lacks a ` -- reason`") {
+		t.Fatalf("got %v, want exactly the malformed-directive report", diags)
+	}
+}
+
+func TestAllowForOtherAnalyzerIgnored(t *testing.T) {
+	src := `package p
+func a() int {
+	return 1 //lint:allow othercheck -- reason for a different analyzer
+}
+`
+	diags := runOn(t, flagReturns, src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "return statement") {
+		t.Fatalf("got %v, want the finding (directive names a different analyzer)", diags)
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment          string
+		analyzer, reason string
+		ok               bool
+	}{
+		{"//lint:allow lockhold -- the fold lock is leaf-level", "lockhold", "the fold lock is leaf-level", true},
+		{"//lint:allow lockhold", "lockhold", "", true},
+		{"//lint:allow lockhold --   ", "lockhold", "", true},
+		{"//lint:allow lockhold -- ", "lockhold", "", true},
+		{"// ordinary comment", "", "", false},
+		{"//lint:allow ", "", "", false},
+	}
+	for _, c := range cases {
+		analyzer, reason, ok := parseAllow(c.comment)
+		if analyzer != c.analyzer || reason != c.reason || ok != c.ok {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.comment, analyzer, reason, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}

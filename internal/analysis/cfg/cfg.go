@@ -1,0 +1,502 @@
+// Package cfg gives fedsu-lint analyzers a lightweight intra-procedural
+// control-flow graph, a generic forward-dataflow fixpoint, and a def-use
+// index — the dataflow substrate the concurrency-discipline analyzers
+// (lockhold, tokenpair, sharedmut) run on. Like the rest of
+// internal/analysis it uses nothing beyond go/ast and go/types, mirroring
+// the shape of golang.org/x/tools/go/cfg closely enough that a migration
+// to the real package is mechanical.
+//
+// # Graph shape
+//
+// Build decomposes one function body into basic blocks of straight-line
+// nodes. A block's Nodes are simple statements and the *header* parts of
+// control statements (an if's Init and Cond, a switch's Init and Tag, a
+// case clause's match expressions); the controlled bodies live in
+// successor blocks. Two control statements additionally appear in a block
+// as bare marker nodes, because their header alone does not capture their
+// runtime behaviour:
+//
+//   - *ast.SelectStmt: a select with no default clause blocks. The marker
+//     sits in the block where control reaches the select; the per-clause
+//     comm statements are placed in the clause bodies' blocks and recorded
+//     in Graph.SelectComm (a comm's send/receive is performed by the
+//     select, so an analyzer scanning for blocking channel operations must
+//     treat it as already accounted for by the marker).
+//   - *ast.RangeStmt: ranging over a channel is a blocking receive per
+//     iteration. The marker sits in the loop-head block alongside the
+//     range operand expression.
+//
+// Analyzers must not recurse through a marker (its nested bodies belong to
+// other blocks) nor into *ast.FuncLit bodies (a separate function, built
+// separately); Inspect implements exactly that traversal.
+//
+// panic(...) terminates its block with no successor: paths that end in a
+// crash never reach Exit, so exit-state checks (balanced releases, held
+// locks) do not fire for them — matching scratchpair's treatment.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order;
+	// Entry is 0).
+	Index int
+	// Kind labels the block's role for tests and debugging: "entry",
+	// "exit", "if.then", "if.else", "if.join", "for.head", "for.body",
+	// "for.post", "for.join", "range.head", "range.body", "switch.case",
+	// "select.clause", "label.<name>", "unreachable", ...
+	Kind string
+	// Nodes are the block's straight-line statements and header
+	// expressions, in execution order.
+	Nodes []ast.Node
+	// Succs are the possible control-flow successors.
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers lists every defer statement in the function, in source
+	// order. Deferred calls run at every exit; analyzers that model
+	// releases scheduled by defer consult this list (path-sensitively,
+	// the DeferStmt also appears as a node in its block).
+	Defers []*ast.DeferStmt
+	// SelectComm marks the comm statements of every select in the
+	// function: their channel operation is performed by the select marker
+	// (blocking or not per the default clause), not by the statement
+	// itself.
+	SelectComm map[ast.Stmt]bool
+}
+
+// Build constructs the CFG of body. A nil body (declaration without a
+// body) yields a graph whose entry falls straight through to exit.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{SelectComm: map[ast.Stmt]bool{}}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	entry := b.newBlock("entry")
+	g.Entry = entry
+	g.Exit = b.newBlock("exit")
+	b.cur = entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, g.Exit)
+	return g
+}
+
+// loopInfo carries a loop's (or switch's) branch targets.
+type loopInfo struct {
+	breakTarget    *Block
+	continueTarget *Block // nil for switch/select (continue targets the enclosing loop)
+}
+
+type labelInfo struct {
+	// block is the labeled statement's entry block (the goto target);
+	// created on demand for forward gotos and patched when the label is
+	// reached.
+	block *Block
+	// loop is non-nil while the labeled statement is a loop or switch in
+	// scope, for labeled break/continue.
+	loop *loopInfo
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	loops  []*loopInfo // innermost last
+	labels map[string]*labelInfo
+	// label pending for the next loop/switch statement (a LabeledStmt
+	// wrapping it), so labeled break/continue resolve.
+	pendingLabel string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current path (return, panic, goto): subsequent
+// statements in the source block are unreachable.
+func (b *builder) terminate() {
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	// A label pending from an enclosing LabeledStmt applies only to the
+	// statement it directly wraps; consume it here.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so the label has a stable goto target.
+		target := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, target)
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			// Crash path: no successor (deliberately not Exit; see the
+			// package comment).
+			b.terminate()
+		}
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Tag)
+		b.switchBody(s.Body, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, true)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, label)
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements, empty
+		// statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[name] = li
+	}
+	if li.block == nil {
+		li.block = b.newBlock("label." + name)
+	}
+	return li.block
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.GOTO:
+		if s.Label != nil {
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+		}
+		b.terminate()
+	case token.BREAK:
+		if li := b.branchLoop(s.Label); li != nil {
+			b.edge(b.cur, li.breakTarget)
+		}
+		b.terminate()
+	case token.CONTINUE:
+		if li := b.branchLoop(s.Label); li != nil && li.continueTarget != nil {
+			b.edge(b.cur, li.continueTarget)
+		}
+		b.terminate()
+	case token.FALLTHROUGH:
+		// Handled by switchBody (edge to the next case's block); the
+		// statement itself terminates this clause's straight-line run.
+		b.terminate()
+	}
+}
+
+// branchLoop resolves the break/continue target: the named label's
+// construct, or the innermost enclosing one.
+func (b *builder) branchLoop(label *ast.Ident) *loopInfo {
+	if label != nil {
+		if li := b.labels[label.Name]; li != nil {
+			return li.loop
+		}
+		return nil
+	}
+	if n := len(b.loops); n > 0 {
+		return b.loops[n-1]
+	}
+	return nil
+}
+
+func (b *builder) pushLoop(li *loopInfo, label string) {
+	b.loops = append(b.loops, li)
+	if label != "" {
+		b.labels[label].loop = li
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	b.loops = b.loops[:len(b.loops)-1]
+	if label != "" {
+		b.labels[label].loop = nil
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	join := b.newBlock("if.join")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock("for.head")
+	body := b.newBlock("for.body")
+	post := b.newBlock("for.post")
+	join := b.newBlock("for.join")
+	b.edge(b.cur, head)
+	head.Nodes = appendNode(head.Nodes, s.Cond)
+	b.edge(head, body)
+	if s.Cond != nil {
+		// No condition means the loop only exits via break/return.
+		b.edge(head, join)
+	}
+	li := &loopInfo{breakTarget: join, continueTarget: post}
+	b.pushLoop(li, label)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, post)
+	b.popLoop(label)
+	if s.Post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+	}
+	b.edge(post, head)
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.edge(b.cur, head)
+	// The operand is evaluated at the head; the marker carries the
+	// range-over-channel blocking semantics.
+	head.Nodes = appendNode(head.Nodes, s.X)
+	head.Nodes = append(head.Nodes, s)
+	b.edge(head, body)
+	b.edge(head, join)
+	li := &loopInfo{breakTarget: join, continueTarget: head}
+	b.pushLoop(li, label)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.popLoop(label)
+	b.cur = join
+}
+
+// switchBody builds the clause blocks of a switch or type switch.
+// mayFallThrough wires fallthrough edges between consecutive clauses.
+func (b *builder) switchBody(body *ast.BlockStmt, label string, mayFallThrough bool) {
+	head := b.cur
+	join := b.newBlock("switch.join")
+	li := &loopInfo{breakTarget: join}
+	b.pushLoop(li, label)
+
+	var clauseBlocks []*Block
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("switch.case")
+		clauseBlocks = append(clauseBlocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, blk)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	i := 0
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := clauseBlocks[i]
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		b.cur = blk
+		if mayFallThrough && endsInFallthrough(cc.Body) && i+1 < len(clauseBlocks) {
+			// The clause body runs, then control transfers to the next
+			// clause's body (skipping its match expressions at runtime —
+			// close enough for dataflow: may-analyses union anyway). The
+			// fallthrough statement itself is control only, so it is
+			// dropped rather than fed through stmt (which would terminate
+			// the block before the edge is wired).
+			b.stmtList(cc.Body[:len(cc.Body)-1])
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.terminate()
+		} else {
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		i++
+	}
+	b.popLoop(label)
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	// The marker: blocking iff no default clause (analyzers check).
+	head.Nodes = append(head.Nodes, s)
+	join := b.newBlock("select.join")
+	li := &loopInfo{breakTarget: join}
+	b.pushLoop(li, label)
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.clause")
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.g.SelectComm[cc.Comm] = true
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.popLoop(label)
+	b.cur = join
+}
+
+// HasDefault reports whether a select statement has a default clause
+// (making it non-blocking).
+func HasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Inspect walks n in the way block nodes must be traversed: it calls fn
+// for n and its children, but does not descend into *ast.FuncLit bodies
+// (a different function) nor through the *ast.SelectStmt and
+// *ast.RangeStmt markers (their nested statements belong to other
+// blocks). fn returning false prunes the subtree, as with ast.Inspect.
+func Inspect(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if !fn(m) {
+			return false
+		}
+		switch m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt, *ast.RangeStmt:
+			// Visit the node itself only; bodies are in other blocks. The
+			// top-level call on the marker still reports the marker.
+			return false
+		}
+		return true
+	})
+}
+
+func endsInFallthrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func appendNode(nodes []ast.Node, e ast.Expr) []ast.Node {
+	if e == nil {
+		return nodes
+	}
+	return append(nodes, e)
+}

@@ -1,0 +1,588 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a complete file), builds the CFG of the function
+// named name, and returns it.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return Build(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// reachable returns the set of blocks reachable from entry.
+func reachable(g *Graph) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// kinds of the reachable blocks, for shape assertions.
+func kindSet(g *Graph) map[string]bool {
+	out := map[string]bool{}
+	for b := range reachable(g) {
+		out[b.Kind] = true
+	}
+	return out
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	ks := kindSet(g)
+	for _, want := range []string{"entry", "if.then", "if.else", "if.join", "exit"} {
+		if !ks[want] {
+			t.Errorf("missing reachable block kind %q (have %v)", want, ks)
+		}
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		println(1)
+	}
+	println(2)
+}`, "f")
+	// The condition block must have both the then-block and the join as
+	// successors.
+	var cond *Block
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Kind == "if.then" {
+				cond = b
+			}
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block leads to if.then")
+	}
+	var hasJoin bool
+	for _, s := range cond.Succs {
+		if s.Kind == "if.join" {
+			hasJoin = true
+		}
+	}
+	if !hasJoin {
+		t.Errorf("condition block lacks direct edge to if.join (succs %v)", kindsOf(cond.Succs))
+	}
+}
+
+func TestForLoopHasBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		println(i)
+	}
+	println("done")
+}`, "f")
+	var head *Block
+	for b := range reachable(g) {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for.head block")
+	}
+	// post must edge back to head.
+	backEdge := false
+	for b := range reachable(g) {
+		if b.Kind != "for.post" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == head {
+				backEdge = true
+			}
+		}
+	}
+	if !backEdge {
+		t.Error("no back edge for.post -> for.head")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable after loop")
+	}
+}
+
+func TestInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+	}
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Error("break does not reach exit")
+	}
+	// Without the break the exit must be unreachable.
+	g2 := buildFunc(t, `package p
+func f() {
+	for {
+		println(1)
+	}
+}`, "f")
+	if reachable(g2)[g2.Exit] {
+		t.Error("exit reachable out of an infinite loop with no break")
+	}
+}
+
+func TestRangeMarkerAndJoin(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		println(x)
+	}
+}`, "f")
+	var head *Block
+	for b := range reachable(g) {
+		if b.Kind == "range.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no range.head block")
+	}
+	marker := false
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			marker = true
+		}
+	}
+	if !marker {
+		t.Error("range.head lacks the *ast.RangeStmt marker node")
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable after range")
+	}
+}
+
+func TestSwitchNoDefaultFallsThroughHead(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+	case 2:
+		println(2)
+	}
+}`, "f")
+	// With no default, the head must edge straight to switch.join.
+	joinDirect := false
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s.Kind != "switch.join" {
+				continue
+			}
+			if b.Kind != "switch.case" {
+				joinDirect = true
+			}
+		}
+	}
+	if !joinDirect {
+		t.Error("switch without default lacks head -> join edge")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+		fallthrough
+	case 2:
+		println(2)
+	default:
+	}
+}`, "f")
+	// Some switch.case block must edge into another switch.case block.
+	caseToCase := false
+	for b := range reachable(g) {
+		if b.Kind != "switch.case" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s.Kind == "switch.case" {
+				caseToCase = true
+			}
+		}
+	}
+	if !caseToCase {
+		t.Error("fallthrough edge between case blocks missing")
+	}
+}
+
+func TestSelectMarkerAndComms(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) {
+	select {
+	case v := <-a:
+		println(v)
+	case b <- 1:
+	}
+}`, "f")
+	var sel *ast.SelectStmt
+	for b := range reachable(g) {
+		for _, n := range b.Nodes {
+			if s, ok := n.(*ast.SelectStmt); ok {
+				sel = s
+			}
+		}
+	}
+	if sel == nil {
+		t.Fatal("select marker not present in any block")
+	}
+	if HasDefault(sel) {
+		t.Error("HasDefault true for a select with no default")
+	}
+	if len(g.SelectComm) != 2 {
+		t.Errorf("SelectComm has %d comm statements, want 2", len(g.SelectComm))
+	}
+	clauses := 0
+	for b := range reachable(g) {
+		if b.Kind == "select.clause" {
+			clauses++
+		}
+	}
+	if clauses != 2 {
+		t.Errorf("%d select.clause blocks, want 2", clauses)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+retry:
+	println(1)
+	if c {
+		goto retry
+	}
+}`, "f")
+	var label *Block
+	for b := range reachable(g) {
+		if strings.HasPrefix(b.Kind, "label.") {
+			label = b
+		}
+	}
+	if label == nil {
+		t.Fatal("no label block")
+	}
+	// The goto must produce a second in-edge to the label block (one from
+	// fallthrough above, one from the goto).
+	inEdges := 0
+	for b := range reachable(g) {
+		for _, s := range b.Succs {
+			if s == label {
+				inEdges++
+			}
+		}
+	}
+	if inEdges < 2 {
+		t.Errorf("label block has %d in-edges, want >= 2 (fallthrough + goto)", inEdges)
+	}
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestPanicTerminatesWithoutReachingExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	panic("boom")
+}`, "f")
+	if reachable(g)[g.Exit] {
+		t.Error("exit reachable from a body that always panics")
+	}
+}
+
+func TestReturnReachesExitSkipsRest(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, "f")
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable")
+	}
+	// The implicit fall-off edge must not make unreachable trailing blocks
+	// reachable: every reachable non-exit block with no successors is a bug.
+	for b := range reachable(g) {
+		if b != g.Exit && len(b.Succs) == 0 && b.Kind != "unreachable" {
+			t.Errorf("reachable block %q (index %d) has no successors", b.Kind, b.Index)
+		}
+	}
+}
+
+func TestDefersCollectedInOrder(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	defer println(1)
+	if c {
+		defer println(2)
+	}
+	defer println(3)
+}`, "f")
+	if len(g.Defers) != 3 {
+		t.Fatalf("collected %d defers, want 3", len(g.Defers))
+	}
+	// Source order.
+	for i := 1; i < len(g.Defers); i++ {
+		if g.Defers[i].Pos() <= g.Defers[i-1].Pos() {
+			t.Error("defers not in source order")
+		}
+	}
+	// The conditional defer's statement must sit in the if.then block, not
+	// the entry block (path sensitivity for analyzers that model defers).
+	for b := range reachable(g) {
+		if b.Kind != "if.then" {
+			continue
+		}
+		found := false
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("conditional defer not in its branch block")
+		}
+	}
+}
+
+// TestForwardFixpointCounting runs the dataflow over a loop: a counting
+// lattice (capped so it converges) must see the loop body's increment
+// without diverging, and the join of the two if-arms must take the hull.
+func TestForwardFixpointCounting(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool, n int) {
+	acquire()
+	if c {
+		acquire()
+	}
+	for i := 0; i < n; i++ {
+		acquire()
+	}
+}`, "f")
+	// State: [min, max] acquires seen, capped at 3.
+	type iv struct{ lo, hi int }
+	isAcquire := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "acquire"
+	}
+	lat := Lattice[iv]{
+		Transfer: func(b *Block, in iv) iv {
+			out := in
+			for _, n := range b.Nodes {
+				Inspect(n, func(m ast.Node) bool {
+					if isAcquire(m) {
+						if out.lo < 3 {
+							out.lo++
+						}
+						if out.hi < 3 {
+							out.hi++
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		Join: func(a, b iv) iv {
+			return iv{lo: min(a.lo, b.lo), hi: max(a.hi, b.hi)}
+		},
+		Equal: func(a, b iv) bool { return a == b },
+	}
+	in := Forward(g, iv{}, lat)
+	exit, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit state missing")
+	}
+	if exit.lo != 1 {
+		t.Errorf("exit min = %d, want 1 (the unconditional acquire)", exit.lo)
+	}
+	if exit.hi != 3 {
+		t.Errorf("exit max = %d, want 3 (conditional + capped loop)", exit.hi)
+	}
+}
+
+// checkFunc type-checks src and returns the named function's body plus the
+// types.Info for def-use tests.
+func checkFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd, info
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil
+}
+
+func TestDefUseTaintPropagation(t *testing.T) {
+	fd, info := checkFunc(t, `package p
+func source() []int { return nil }
+func f() {
+	g := source()
+	h := g
+	tail := h[1:]
+	fresh := make([]int, 4)
+	copied := fresh
+	_ = g
+	_ = tail
+	_ = copied
+}`, "f")
+	d := NewDefUse(fd.Body, info)
+	tainted := d.Taint(info, func(e ast.Expr, result int) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "source" && result == 0
+	})
+	names := map[string]bool{}
+	for obj := range tainted {
+		names[obj.Name()] = true
+	}
+	for _, want := range []string{"g", "h", "tail"} {
+		if !names[want] {
+			t.Errorf("%q not tainted (have %v)", want, names)
+		}
+	}
+	for _, not := range []string{"fresh", "copied"} {
+		if names[not] {
+			t.Errorf("%q tainted but derives from make", not)
+		}
+	}
+}
+
+func TestDefUseClosureAliasSeen(t *testing.T) {
+	fd, info := checkFunc(t, `package p
+func source() []int { return nil }
+func f() {
+	var alias []int
+	fn := func() {
+		alias = source()
+	}
+	fn()
+	_ = alias
+}`, "f")
+	d := NewDefUse(fd.Body, info)
+	tainted := d.Taint(info, func(e ast.Expr, result int) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "source"
+	})
+	found := false
+	for obj := range tainted {
+		if obj.Name() == "alias" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("assignment inside a closure not indexed")
+	}
+}
+
+func kindsOf(blocks []*Block) []string {
+	out := make([]string, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Kind
+	}
+	return out
+}
+
+func TestDefUseTaintTupleResult(t *testing.T) {
+	fd, info := checkFunc(t, `package p
+func pair() ([]int, error) { return nil, nil }
+func f() {
+	shared, err := pair()
+	_ = shared
+	_ = err
+}`, "f")
+	d := NewDefUse(fd.Body, info)
+	// Only result 0 of pair() is a shared value; err must stay clean.
+	tainted := d.Taint(info, func(e ast.Expr, result int) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "pair" && result == 0
+	})
+	names := map[string]bool{}
+	for obj := range tainted {
+		names[obj.Name()] = true
+	}
+	if !names["shared"] {
+		t.Error("result 0 of the tuple definition not tainted")
+	}
+	if names["err"] {
+		t.Error("result 1 tainted despite the source vouching only for result 0")
+	}
+}

@@ -1,0 +1,207 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lattice describes one forward dataflow problem over a Graph. T is the
+// per-block abstract state (a lock set, a token interval, ...).
+type Lattice[T any] struct {
+	// Transfer computes the block's exit state from its entry state. It
+	// must not mutate in (clone first if the state is a reference type)
+	// and must be monotone for the fixpoint to terminate.
+	Transfer func(b *Block, in T) T
+	// Join merges two states flowing into the same block (typically a
+	// may-union or an interval hull). It must not mutate its arguments.
+	Join func(a, b T) T
+	// Equal reports whether two states are indistinguishable; the
+	// fixpoint stops re-propagating when a join changes nothing.
+	Equal func(a, b T) bool
+}
+
+// Forward runs the dataflow to fixpoint and returns every reachable
+// block's ENTRY state. The caller re-applies Transfer (or a reporting
+// variant of it) over the returned states to attach diagnostics —
+// separating the silent fixpoint from the single reporting pass keeps
+// loop iteration from duplicating findings.
+func Forward[T any](g *Graph, entry T, lat Lattice[T]) map[*Block]T {
+	in := map[*Block]T{g.Entry: entry}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := lat.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			next := out
+			if cur, ok := in[s]; ok {
+				next = lat.Join(cur, out)
+				if lat.Equal(cur, next) {
+					continue
+				}
+			}
+			in[s] = next
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// Def is one definition (assignment or declaration) of a variable.
+type Def struct {
+	Lhs *ast.Ident // the defined identifier
+	Rhs ast.Expr   // the assigned expression; nil for `var x T` and other value-less forms
+	// Result is the variable's position among the values Rhs produces: 0
+	// for ordinary one-to-one assignments, the tuple index for
+	// `a, b := f()` style definitions (so taint sources can distinguish
+	// which result of a multi-valued call they vouch for).
+	Result int
+}
+
+// DefUse indexes every definition of every variable in one function,
+// including nested function literals (an alias captured by a closure is
+// still an alias). It is deliberately flow-insensitive: the concurrency
+// analyzers use it for alias/taint questions ("could v name the slice
+// that call returned?"), where any-definition-reaches is the sound
+// answer.
+type DefUse struct {
+	Defs map[types.Object][]Def
+}
+
+// NewDefUse builds the index for fn (a *ast.FuncDecl body, *ast.FuncLit
+// body, or any subtree).
+func NewDefUse(fn ast.Node, info *types.Info) *DefUse {
+	d := &DefUse{Defs: map[types.Object][]Def{}}
+	if fn == nil {
+		return d
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := objOf(id, info)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				result := 0
+				switch {
+				case len(n.Lhs) == len(n.Rhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					// a, b := f(): every variable is defined by the one
+					// multi-valued expression at its tuple position.
+					rhs = n.Rhs[0]
+					result = i
+				}
+				d.Defs[obj] = append(d.Defs[obj], Def{Lhs: id, Rhs: rhs, Result: result})
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := objOf(name, info)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				result := 0
+				switch {
+				case len(n.Values) == len(n.Names):
+					rhs = n.Values[i]
+				case len(n.Values) == 1:
+					rhs = n.Values[0]
+					result = i
+				}
+				d.Defs[obj] = append(d.Defs[obj], Def{Lhs: name, Rhs: rhs, Result: result})
+			}
+		case *ast.RangeStmt:
+			for _, lhs := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := objOf(id, info); obj != nil {
+						d.Defs[obj] = append(d.Defs[obj], Def{Lhs: id, Rhs: nil})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// Taint computes the set of variables that may alias a source value. A
+// variable is tainted when any of its definitions' RHS satisfies
+// source(rhs, result) — result is the tuple position for multi-valued
+// definitions, so a source can vouch for one result of a call — or
+// derives from a tainted variable through the alias-preserving forms: a
+// plain identifier copy, a slice expression v[a:b], or a parenthesized
+// expression. The map value is the definition that introduced the taint
+// (for diagnostics).
+func (d *DefUse) Taint(info *types.Info, source func(e ast.Expr, result int) bool) map[types.Object]Def {
+	tainted := map[types.Object]Def{}
+	aliases := func(e ast.Expr) (types.Object, bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.SliceExpr:
+				e = x.X
+			default:
+				if id, ok := e.(*ast.Ident); ok {
+					obj := objOf(id, info)
+					return obj, obj != nil
+				}
+				return nil, false
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, defs := range d.Defs {
+			if _, ok := tainted[obj]; ok {
+				continue
+			}
+			for _, def := range defs {
+				if def.Rhs == nil {
+					continue
+				}
+				if source(def.Rhs, def.Result) {
+					tainted[obj] = def
+					changed = true
+					break
+				}
+				if from, ok := aliases(def.Rhs); ok {
+					if _, ok := tainted[from]; ok {
+						tainted[obj] = def
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return tainted
+}
+
+// objOf resolves an identifier to its variable object (nil for the blank
+// identifier and non-variables).
+func objOf(id *ast.Ident, info *types.Info) types.Object {
+	if id.Name == "_" {
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return obj
+}

@@ -16,7 +16,7 @@
 // Implementations of the interface methods themselves (fl.Server,
 // flrpc.Client) are declarations, not calls, and are not flagged. A
 // deliberate direct call can be suppressed with
-// `//lint:allow ctxdispatch <reason>`.
+// `//lint:allow ctxdispatch -- <reason>`.
 package ctxdispatch
 
 import (

@@ -24,7 +24,7 @@ func dispatched(ctx context.Context, agg sparse.Aggregator, s sparse.Syncer) {
 
 // suppressed documents a sanctioned direct call.
 func suppressed(agg sparse.Aggregator) {
-	agg.AggregateModel(0, 1, nil) //lint:allow ctxdispatch corpus escape-hatch check
+	agg.AggregateModel(0, 1, nil) //lint:allow ctxdispatch -- corpus escape-hatch check
 }
 
 // server implements the interface; method declarations are not calls and

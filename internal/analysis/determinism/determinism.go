@@ -25,7 +25,7 @@
 //     not flagged either, since an append into a slice is
 //     order-recoverable).
 //
-// Suppress a deliberate exception with `//lint:allow determinism <reason>`.
+// Suppress a deliberate exception with `//lint:allow determinism -- <reason>`.
 package determinism
 
 import (

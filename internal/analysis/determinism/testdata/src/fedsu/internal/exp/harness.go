@@ -47,8 +47,8 @@ func schemeOrderSum(traffic map[string]float64) float64 {
 // selfTiming is Table II's sanctioned exception: the measurement IS the
 // result, suppressed in place.
 func selfTiming() float64 {
-	//lint:allow determinism overhead measurement is the reported result
+	//lint:allow determinism -- overhead measurement is the reported result
 	start := time.Now()
-	//lint:allow determinism overhead measurement is the reported result
+	//lint:allow determinism -- overhead measurement is the reported result
 	return time.Since(start).Seconds()
 }

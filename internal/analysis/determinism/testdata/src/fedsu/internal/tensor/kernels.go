@@ -88,6 +88,6 @@ func perIterationTemp(m map[int][]float64, out []float64) {
 
 // suppressed documents a sanctioned exception.
 func suppressed() int64 {
-	//lint:allow determinism diagnostics timestamp, not part of any result
+	//lint:allow determinism -- diagnostics timestamp, not part of any result
 	return time.Now().UnixNano()
 }

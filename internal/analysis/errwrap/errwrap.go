@@ -113,7 +113,7 @@ func checkComparison(pass *analysis.Pass, cmp *ast.BinaryExpr, errType types.Typ
 		return
 	}
 	if containsErrorText(pass, cmp.X, errType) || containsErrorText(pass, cmp.Y, errType) {
-		pass.Reportf(cmp.Pos(), "comparing error text; match sentinel errors with errors.Is/errors.As (a wire-boundary shim needs //lint:allow errwrap)")
+		pass.Reportf(cmp.Pos(), "comparing error text; match sentinel errors with errors.Is/errors.As (a wire-boundary shim needs //lint:allow errwrap -- <reason>)")
 	}
 }
 
@@ -132,7 +132,7 @@ func checkStringMatch(pass *analysis.Pass, call *ast.CallExpr, errType types.Typ
 	}
 	for _, arg := range call.Args {
 		if containsErrorText(pass, arg, errType) {
-			pass.Reportf(call.Pos(), "matching on error text; match sentinel errors with errors.Is/errors.As (a wire-boundary shim needs //lint:allow errwrap)")
+			pass.Reportf(call.Pos(), "matching on error text; match sentinel errors with errors.Is/errors.As (a wire-boundary shim needs //lint:allow errwrap -- <reason>)")
 			return
 		}
 	}

@@ -55,7 +55,7 @@ func typedMatch(err error) bool {
 
 // shim is the sanctioned wire-boundary exception.
 func shim(err error) bool {
-	//lint:allow errwrap net/rpc flattens errors to strings; this is the recovery shim
+	//lint:allow errwrap -- net/rpc flattens errors to strings; this is the recovery shim
 	return strings.Contains(err.Error(), "evicted from session")
 }
 

@@ -1,0 +1,147 @@
+// Corpus for the goleak analyzer: goroutine lifetime shapes in a
+// miniature replica of the fl package (the analyzer is scoped to the real
+// import path, which this corpus shares).
+package fl
+
+import (
+	"context"
+	"net/rpc"
+	"sync"
+)
+
+type engine struct {
+	quit chan struct{}
+	out  chan float64
+}
+
+func work() float64 { return 0 }
+
+// --- negative cases: the three sanctioned lifetime shapes ---
+
+// Joined: WaitGroup.Done observed by a sibling Wait.
+func okJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Bounded: the loop parks on a quit-channel select.
+func okQuitBounded(e *engine) {
+	go func() {
+		for {
+			select {
+			case <-e.quit:
+				return
+			case e.out <- work():
+			}
+		}
+	}()
+}
+
+// Bounded: ctx.Done() select.
+func okCtxBounded(ctx context.Context, e *engine) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Completing: the future pattern — the final action sends the result.
+func okFuture(e *engine) chan float64 {
+	ch := make(chan float64, 1)
+	go func() {
+		loss := work()
+		ch <- loss
+	}()
+	return ch
+}
+
+// Completing: terminal close observed via the done channel.
+func okCloseSignal(e *engine) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// Completing: deferred close covers every exit path.
+func okDeferredClose(e *engine, c bool) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if c {
+			return
+		}
+		work()
+	}()
+	<-done
+}
+
+// A same-package named function with a bounded body resolves through the
+// declaration index.
+func (e *engine) loop() {
+	for {
+		select {
+		case <-e.quit:
+			return
+		case e.out <- work():
+		}
+	}
+}
+
+func okNamedBounded(e *engine) {
+	go e.loop()
+}
+
+// --- positive cases ---
+
+// Fire-and-forget: spins forever, nothing observes termination.
+func badSpin(e *engine) {
+	go func() { // want `fire-and-forget goroutine`
+		for {
+			work()
+		}
+	}()
+}
+
+// Fire-and-forget: terminates, but nothing observes it.
+func badUnobserved() {
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+}
+
+// A same-package named function with a fire-and-forget body.
+func (e *engine) spinLoop() {
+	for {
+		work()
+	}
+}
+
+func badNamedSpin(e *engine) {
+	go e.spinLoop() // want `fire-and-forget goroutine`
+}
+
+// Cross-package callee: lifetime cannot be verified intra-procedurally.
+func badCrossPackage(s *rpc.Server, conn interface{ Read([]byte) (int, error) }) {
+	go s.Accept(nil) // want `defined outside this package`
+}
+
+// The sanctioned cross-package launch, annotated with a reason.
+func okAnnotatedCrossPackage(s *rpc.Server) {
+	go s.Accept(nil) //lint:allow goleak -- corpus replica: the rpc accept loop is bounded by listener close
+}

@@ -1,0 +1,13 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analysistest.Run(t, "testdata", lockhold.Analyzer,
+		"fedsu/internal/fl", "fedsu/internal/flrpc")
+}

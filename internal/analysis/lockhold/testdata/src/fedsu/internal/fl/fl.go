@@ -1,0 +1,161 @@
+// Corpus for the lockhold analyzer: blocking operations under a held
+// mutex, in a miniature replica of the fl package (the analyzer is scoped
+// to the real import path, which this corpus shares).
+package fl
+
+import (
+	"sync"
+
+	"fedsu/internal/par"
+)
+
+type server struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	done chan struct{}
+}
+
+func ready() bool { return true }
+
+// --- positive cases ---
+
+func badSendUnderLock(s *server, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `blocking channel send while "s\.mu" is held \(locked at line 24\)`
+	s.mu.Unlock()
+}
+
+func badRecvUnderDeferredLock(s *server, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want `blocking channel receive while "s\.mu" is held`
+}
+
+func badFoldUnderLock(s *server, n int) {
+	s.mu.Lock()
+	par.ParallelizeGrain(n, 4, func(lo, hi int) {}) // want `blocking par\.ParallelizeGrain while "s\.mu" is held`
+	s.mu.Unlock()
+}
+
+func badAcquireUnderRLock(s *server) {
+	s.rw.RLock()
+	par.AcquireToken() // want `blocking par\.AcquireToken while "s\.rw" is held`
+	par.ReleaseToken()
+	s.rw.RUnlock()
+}
+
+func badWaitUnderLock(s *server, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `blocking WaitGroup\.Wait while "s\.mu" is held`
+}
+
+func badSelectUnderLock(s *server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select with no default clause while "s\.mu" is held`
+	case <-s.done:
+	}
+}
+
+func badRangeChanUnderLock(s *server, ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for v := range ch { // want `blocking range over a channel while "s\.mu" is held`
+		total += v
+	}
+	return total
+}
+
+// A lock taken on only one branch is may-held at the join: the blocking
+// op deadlocks whenever that branch ran.
+func badMayHeld(s *server, c bool, ch chan int) {
+	if c {
+		s.mu.Lock()
+	}
+	ch <- 1 // want `blocking channel send while "s\.mu" is held`
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+// TryLock counts as acquired on success; the send below may deadlock.
+func badTryLock(s *server, ch chan int) {
+	if s.mu.TryLock() {
+		ch <- 1 // want `blocking channel send while "s\.mu" is held`
+		s.mu.Unlock()
+	}
+}
+
+// --- negative cases ---
+
+func okReleaseBeforeBlocking(s *server, ch chan int, n int) {
+	s.mu.Lock()
+	x := 1
+	s.mu.Unlock()
+	par.Parallelize(n, func(lo, hi int) {})
+	ch <- x
+}
+
+// A select with a default clause never blocks.
+func okSelectWithDefault(s *server) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// sync.Cond.Wait releases the associated lock while parked — the one
+// sanctioned blocking wait under a mutex.
+func okCondWait(s *server) {
+	s.mu.Lock()
+	for !ready() {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Locks cycled inside the loop are free again by the send after it.
+func okLockPerIteration(s *server, ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	ch <- n
+}
+
+// Launching a goroutine does not block the launcher; the goroutine body
+// is a separate function with its own (empty) lock set.
+func okGoUnderLock(s *server, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		select {
+		case ch <- 1:
+		case <-s.done:
+		}
+	}()
+}
+
+// A path that panics never reaches the blocking op.
+func okPanicPath(s *server, ch chan int, c bool) {
+	s.mu.Lock()
+	if c {
+		panic("invariant")
+	}
+	s.mu.Unlock()
+	ch <- 1
+}
+
+// The sanctioned leaf-lock fold: suppressed with a written reason.
+func okAnnotatedFold(s *server, n int) {
+	s.mu.Lock()
+	par.ParallelizeGrain(n, 4, func(lo, hi int) {}) //lint:allow lockhold -- corpus replica of the leaf fold lock: par falls back inline and pool workers take no project locks
+	s.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Corpus for the lockhold analyzer: network I/O under a held mutex, in a
+// miniature replica of the flrpc transport package.
+package flrpc
+
+import (
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+)
+
+type client struct {
+	mu  sync.Mutex
+	rpc *rpc.Client
+}
+
+func badDialAndCallUnderLock(c *client, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, time.Second) // want `blocking net DialTimeout I/O while "c\.mu" is held`
+	if err != nil {
+		return err
+	}
+	c.rpc = rpc.NewClient(conn)
+	return c.rpc.Call("Svc.Join", 1, nil) // want `blocking rpc Call I/O while "c\.mu" is held`
+}
+
+func okDialOutsideLock(c *client, addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	rc := rpc.NewClient(conn)
+	c.mu.Lock()
+	c.rpc = rc
+	c.mu.Unlock()
+	return rc.Call("Svc.Join", 1, nil)
+}

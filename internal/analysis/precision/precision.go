@@ -15,7 +15,7 @@
 // its contract), batch assembly in internal/data, and the per-dispatch
 // scalar conversions where a float64 hyper-parameter enters a generic
 // kernel exactly once. Each such site carries a
-// `//lint:allow precision <reason>` directive; everything else is flagged.
+// `//lint:allow precision -- <reason>` directive; everything else is flagged.
 //
 // Conversions from non-float operands (float64(len(x)), float32(i)) and
 // constant expressions (float32(0.5), E(1) — folded exactly at compile
@@ -38,7 +38,7 @@ var Analyzer = &analysis.Analyzer{
 		"boundary (toF64/roundE, sync copies, batch assembly, dispatch " +
 		"scalars). Every other conversion between float32, float64, and " +
 		"the generic element width is a finding; document deliberate " +
-		"boundaries with //lint:allow precision <reason>.",
+		"boundaries with //lint:allow precision -- <reason>.",
 	Run: run,
 }
 
@@ -83,7 +83,7 @@ func run(pass *analysis.Pass) error {
 			if dst == wNone || src == wNone || dst == src {
 				return true
 			}
-			pass.Reportf(call.Pos(), "%s→%s conversion crosses float widths in precision-scoped package %s; cross once at a sanctioned boundary (toF64/roundE, sync copy, dispatch scalar) and annotate it with //lint:allow precision <reason>",
+			pass.Reportf(call.Pos(), "%s→%s conversion crosses float widths in precision-scoped package %s; cross once at a sanctioned boundary (toF64/roundE, sync copy, dispatch scalar) and annotate it with //lint:allow precision -- <reason>",
 				widthName(src, argTV.Type), widthName(dst, tv.Type), pass.Pkg.Name())
 			return true
 		})

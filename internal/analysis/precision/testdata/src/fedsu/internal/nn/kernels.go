@@ -37,7 +37,7 @@ func narrowGeneric[E Elem](v E) float32 {
 // sanctioned is a documented boundary: the directive suppresses the
 // finding, as on the real tree's toF64/roundE and dispatch scalars.
 func sanctioned[E Elem](v float64) E {
-	return E(v) //lint:allow precision single-rounding helper, the sanctioned write crossing
+	return E(v) //lint:allow precision -- single-rounding helper, the sanctioned write crossing
 }
 
 // exactConversions never cross float widths and are not findings: constant

@@ -123,7 +123,7 @@ func swapThenRelease(n, steps int) {
 
 // suppressed documents a deliberate leak with the escape hatch.
 func suppressed(n int) *tensor.Tensor {
-	//lint:allow scratchpair handed to cgo in the real code this mimics
+	//lint:allow scratchpair -- handed to cgo in the real code this mimics
 	t := tensor.GetScratch(n)
 	u := t
 	return u

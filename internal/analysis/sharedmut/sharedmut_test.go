@@ -1,0 +1,12 @@
+package sharedmut_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/sharedmut"
+)
+
+func TestSharedmut(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedmut.Analyzer, "consumer")
+}

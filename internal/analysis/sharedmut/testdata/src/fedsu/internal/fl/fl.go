@@ -1,0 +1,19 @@
+// Package fl is a corpus stub: the shared-snapshot getter signatures the
+// sharedmut analyzer matches by package path + name.
+package fl
+
+import "context"
+
+type Server struct {
+	global []float64
+}
+
+func (s *Server) AsyncGlobal() []float64 { return s.global }
+
+func (s *Server) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	return s.global, nil
+}
+
+func (s *Server) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return s.global, nil
+}

@@ -1,0 +1,12 @@
+// Package par is a corpus stub of the real worker-pool package: the
+// analyzers match callees by package path + name, so the miniature
+// replica only needs the signatures.
+package par
+
+func AcquireToken() {}
+
+func ReleaseToken() {}
+
+func Parallelize(n int, fn func(lo, hi int)) {}
+
+func ParallelizeGrain(n, grain int, fn func(lo, hi int)) {}

@@ -1,0 +1,12 @@
+package tokenpair_test
+
+import (
+	"testing"
+
+	"fedsu/internal/analysis/analysistest"
+	"fedsu/internal/analysis/tokenpair"
+)
+
+func TestTokenpair(t *testing.T) {
+	analysistest.Run(t, "testdata", tokenpair.Analyzer, "tokens")
+}

@@ -66,7 +66,7 @@ func (d *Dataset) BatchOf(dt tensor.DType, indices []int) (*tensor.Tensor, []int
 		for bi, i := range indices {
 			dst := xd[bi*sz : (bi+1)*sz]
 			for j, v := range d.images[i] {
-				dst[j] = float32(v) //lint:allow precision pixels round once at batch assembly
+				dst[j] = float32(v) //lint:allow precision -- pixels round once at batch assembly
 			}
 			labels[bi] = d.labels[i]
 		}

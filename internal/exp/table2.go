@@ -110,24 +110,24 @@ func measureSyncOverhead(size int, opts core.Options) (float64, error) {
 	// Warm-up and measure FedSU. Table II reports measured self-timing
 	// overhead — wall-clock IS the result here, the one sanctioned
 	// exception to the harness determinism contract.
-	//lint:allow determinism Table II measures its own wall-clock overhead
+	//lint:allow determinism -- Table II measures its own wall-clock overhead
 	start := time.Now()
 	for k := 0; k < rounds; k++ {
 		if _, _, err := mgr.Sync(k, traj(k), true); err != nil {
 			return 0, err
 		}
 	}
-	//lint:allow determinism Table II measures its own wall-clock overhead
+	//lint:allow determinism -- Table II measures its own wall-clock overhead
 	fedsuPer := time.Since(start).Seconds() / rounds
 
-	//lint:allow determinism Table II measures its own wall-clock overhead
+	//lint:allow determinism -- Table II measures its own wall-clock overhead
 	start = time.Now()
 	for k := 0; k < rounds; k++ {
 		if _, _, err := base.Sync(k, traj(k), true); err != nil {
 			return 0, err
 		}
 	}
-	//lint:allow determinism Table II measures its own wall-clock overhead
+	//lint:allow determinism -- Table II measures its own wall-clock overhead
 	basePer := time.Since(start).Seconds() / rounds
 
 	d := fedsuPer - basePer

@@ -98,7 +98,7 @@ func (c *Client) addProximalGrad() {
 		if !p.NoOpt {
 			anchor := c.roundVec[off : off+n]
 			if c.dt == tensor.Float32 {
-				proximalGrad(tensor.DataOf[float32](p.Value), tensor.DataOf[float32](p.Grad), anchor, float32(c.proxMu)) //lint:allow precision proximal coefficient rounds once at the dispatch boundary
+				proximalGrad(tensor.DataOf[float32](p.Value), tensor.DataOf[float32](p.Grad), anchor, float32(c.proxMu)) //lint:allow precision -- proximal coefficient rounds once at the dispatch boundary
 			} else {
 				proximalGrad(tensor.DataOf[float64](p.Value), tensor.DataOf[float64](p.Grad), anchor, c.proxMu)
 			}
@@ -110,7 +110,7 @@ func (c *Client) addProximalGrad() {
 // proximalGrad adds mu·(v − anchor) to g at storage width.
 func proximalGrad[E tensor.Elem](v, g []E, anchor []float64, mu E) {
 	for i := range v {
-		g[i] += mu * (v[i] - E(anchor[i])) //lint:allow precision anchor narrows exactly: it was extracted from this same-width model
+		g[i] += mu * (v[i] - E(anchor[i])) //lint:allow precision -- anchor narrows exactly: it was extracted from this same-width model
 	}
 }
 

@@ -97,10 +97,10 @@ type Server struct {
 	// When enabled, submissions bypass the barrier machinery entirely:
 	// they fold into per-kind weighted accumulators as they arrive and the
 	// global applies every acfg.K contributions.
-	async bool
-	acfg  AsyncConfig
-	amu   sync.Mutex
-	achan map[string]*asyncChan
+	async  bool
+	acfg   AsyncConfig
+	amu    sync.Mutex
+	achan  map[string]*asyncChan
 	astale int
 }
 
@@ -693,6 +693,7 @@ func (s *Server) complete(o *op) {
 		o.failure = o.lenFail
 	} else if o.folded > 0 {
 		o.scaleInv = 1.0 / float64(o.folded)
+		//lint:allow lockhold -- foldMu is the leaf fold lock: complete is its sole holder after finish, and pool workers never take it, so the dispatch cannot deadlock
 		par.ParallelizeGrain(o.sumLen, foldGrain, o.scaleFn)
 		o.result = o.sum
 	}

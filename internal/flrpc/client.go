@@ -62,13 +62,14 @@ type Client struct {
 	cfg      DialConfig
 	counters *trace.Counters
 
-	mu     sync.Mutex
-	rpc    *rpc.Client
-	joined bool
-	closed bool
-	id     int
-	size   int
-	n      int
+	mu      sync.Mutex
+	rpc     *rpc.Client
+	dialing chan struct{} // non-nil while a dial attempt is in flight; closed when it settles
+	joined  bool
+	closed  bool
+	id      int
+	size    int
+	n       int
 
 	hbStop chan struct{}
 	hbDone chan struct{}
@@ -103,40 +104,81 @@ func DialWith(addr string, cfg DialConfig) (*Client, error) {
 }
 
 // ensureConn returns the live connection, dialing and (re)joining first if
-// the previous one was lost.
+// the previous one was lost. The dial and join handshake run with no lock
+// held — Close and invalidate must never block behind network I/O for the
+// full dial timeout — so concurrent callers coordinate through a
+// single-flight channel: the first caller in dials while the rest wait for
+// the attempt to settle, then re-check the installed connection.
 func (c *Client) ensureConn() (*rpc.Client, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, fmt.Errorf("flrpc: client closed")
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("flrpc: client closed")
+		}
+		if c.rpc != nil {
+			rc := c.rpc
+			c.mu.Unlock()
+			return rc, nil
+		}
+		if c.dialing != nil {
+			settled := c.dialing
+			c.mu.Unlock()
+			<-settled
+			continue
+		}
+		settled := make(chan struct{})
+		c.dialing = settled
+		joined, id := c.joined, c.id
+		c.mu.Unlock()
+
+		rc, reply, err := c.dialAndJoin(joined, id)
+
+		c.mu.Lock()
+		c.dialing = nil
+		close(settled)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if c.closed {
+			c.mu.Unlock()
+			rc.Close()
+			return nil, fmt.Errorf("flrpc: client closed")
+		}
+		c.rpc = rc
+		c.id, c.size, c.n = reply.ClientID, reply.ModelSize, reply.NumClients
+		c.joined = true
+		c.mu.Unlock()
+		return rc, nil
 	}
-	if c.rpc != nil {
-		return c.rpc, nil
-	}
+}
+
+// dialAndJoin performs one connection attempt — TCP dial, then the Join
+// (or Rejoin) handshake — holding no locks. addr, cfg, and counters are
+// immutable after construction, so they are safe to read here.
+func (c *Client) dialAndJoin(joined bool, id int) (*rpc.Client, JoinReply, error) {
+	var reply JoinReply
 	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("flrpc: dial %s: %w", c.addr, err)
+		return nil, reply, fmt.Errorf("flrpc: dial %s: %w", c.addr, err)
 	}
 	rc := rpc.NewClient(conn)
 	args := JoinArgs{Name: c.cfg.Name}
-	if c.joined {
+	if joined {
 		args.Rejoin = true
-		args.ClientID = c.id
+		args.ClientID = id
 		c.counters.Inc("reconnects")
 	}
-	var reply JoinReply
 	if err := rc.Call(ServiceName+".Join", args, &reply); err != nil {
 		rc.Close()
-		return nil, fmt.Errorf("flrpc: join: %w", err)
+		return nil, reply, fmt.Errorf("flrpc: join: %w", err)
 	}
-	if c.joined && reply.ClientID != c.id {
+	if joined && reply.ClientID != id {
 		rc.Close()
-		return nil, fmt.Errorf("flrpc: rejoined as client %d, was %d", reply.ClientID, c.id)
+		return nil, reply, fmt.Errorf("flrpc: rejoined as client %d, was %d", reply.ClientID, id)
 	}
-	c.rpc = rc
-	c.id, c.size, c.n = reply.ClientID, reply.ModelSize, reply.NumClients
-	c.joined = true
-	return rc, nil
+	return rc, reply, nil
 }
 
 // invalidate discards rc (closing it) if it is still the current
@@ -314,7 +356,7 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 			// The designated recovery shim: net/rpc flattens server-side
 			// errors to strings, so the typed eviction error can only be
 			// recovered here, by matching fl.EvictedError's wire marker.
-			//lint:allow errwrap net/rpc delivers errors as flattened strings
+			//lint:allow errwrap -- net/rpc delivers errors as flattened strings
 			if strings.Contains(se.Error(), evictedMarker) {
 				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w: %w", kind, round, se, ErrEvicted)
 			}

@@ -418,6 +418,7 @@ func Serve(l net.Listener, c *Coordinator) error {
 		if err != nil {
 			return err
 		}
+		//lint:allow goleak -- idiomatic net/rpc accept loop: ServeConn exits when the peer disconnects, and Service.Close tears down the listener that feeds it
 		go s.ServeConn(conn)
 	}
 }

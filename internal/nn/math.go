@@ -24,10 +24,10 @@ import "fedsu/internal/tensor"
 
 // toF64 widens a storage element to float64; exact at both widths.
 func toF64[E tensor.Elem](v E) float64 {
-	return float64(v) //lint:allow precision exact widening helper, the sanctioned read crossing
+	return float64(v) //lint:allow precision -- exact widening helper, the sanctioned read crossing
 }
 
 // roundE rounds a float64 intermediate to storage width, once.
 func roundE[E tensor.Elem](v float64) E {
-	return E(v) //lint:allow precision single-rounding helper, the sanctioned write crossing
+	return E(v) //lint:allow precision -- single-rounding helper, the sanctioned write crossing
 }

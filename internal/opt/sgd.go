@@ -84,7 +84,7 @@ func (s *SGD) Step(params []*nn.Param) {
 				}
 			}
 			sgdUpdate(tensor.DataOf[float32](p.Value), tensor.DataOf[float32](p.Grad), vel,
-				float32(lr), float32(s.momentum), float32(s.weightDecay)) //lint:allow precision optimizer scalars round once per step at the dispatch boundary
+				float32(lr), float32(s.momentum), float32(s.weightDecay)) //lint:allow precision -- optimizer scalars round once per step at the dispatch boundary
 			continue
 		}
 		var vel []float64

@@ -15,7 +15,7 @@ import (
 func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float64) {
 	if t.dt == Float32 {
 		for i := range t.data32 {
-			t.data32[i] = float32(mean + std*rng.NormFloat64()) //lint:allow precision initializer rounds the shared f64 draw once
+			t.data32[i] = float32(mean + std*rng.NormFloat64()) //lint:allow precision -- initializer rounds the shared f64 draw once
 		}
 		return
 	}
@@ -28,7 +28,7 @@ func (t *Tensor) RandNormal(rng *rand.Rand, mean, std float64) {
 func (t *Tensor) RandUniform(rng *rand.Rand, lo, hi float64) {
 	if t.dt == Float32 {
 		for i := range t.data32 {
-			t.data32[i] = float32(lo + (hi-lo)*rng.Float64()) //lint:allow precision initializer rounds the shared f64 draw once
+			t.data32[i] = float32(lo + (hi-lo)*rng.Float64()) //lint:allow precision -- initializer rounds the shared f64 draw once
 		}
 		return
 	}

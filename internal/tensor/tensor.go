@@ -177,7 +177,7 @@ func (t *Tensor) CopyToF64(dst []float64) {
 	}
 	if t.dt == Float32 {
 		for i, v := range t.data32 {
-			dst[i] = float64(v) //lint:allow precision exact float32→float64 widening at the sync boundary
+			dst[i] = float64(v) //lint:allow precision -- exact float32→float64 widening at the sync boundary
 		}
 		return
 	}
@@ -196,7 +196,7 @@ func (t *Tensor) CopyFromF64(src []float64) {
 	}
 	if t.dt == Float32 {
 		for i, v := range src {
-			t.data32[i] = float32(v) //lint:allow precision the one deterministic float64→float32 rounding site of the sync boundary
+			t.data32[i] = float32(v) //lint:allow precision -- the one deterministic float64→float32 rounding site of the sync boundary
 		}
 		return
 	}
@@ -208,7 +208,7 @@ func (t *Tensor) CopyFromF64(src []float64) {
 func (t *Tensor) At(idx ...int) float64 {
 	off := t.offset(idx)
 	if t.dt == Float32 {
-		return float64(t.data32[off]) //lint:allow precision exact widening accessor
+		return float64(t.data32[off]) //lint:allow precision -- exact widening accessor
 	}
 	return t.data[off]
 }
@@ -218,7 +218,7 @@ func (t *Tensor) At(idx ...int) float64 {
 func (t *Tensor) Set(v float64, idx ...int) {
 	off := t.offset(idx)
 	if t.dt == Float32 {
-		t.data32[off] = float32(v) //lint:allow precision rounding accessor, mirrors CopyFromF64
+		t.data32[off] = float32(v) //lint:allow precision -- rounding accessor, mirrors CopyFromF64
 		return
 	}
 	t.data[off] = v
@@ -227,7 +227,7 @@ func (t *Tensor) Set(v float64, idx ...int) {
 // flatAt returns element i of the flattened tensor, widened to float64.
 func (t *Tensor) flatAt(i int) float64 {
 	if t.dt == Float32 {
-		return float64(t.data32[i]) //lint:allow precision exact widening accessor
+		return float64(t.data32[i]) //lint:allow precision -- exact widening accessor
 	}
 	return t.data[i]
 }
@@ -307,7 +307,7 @@ func (t *Tensor) Zero() {
 // Fill sets every element to v, rounded to the storage dtype.
 func (t *Tensor) Fill(v float64) {
 	if t.dt == Float32 {
-		fillSlice(t.data32, float32(v)) //lint:allow precision scalar rounds once at the call boundary
+		fillSlice(t.data32, float32(v)) //lint:allow precision -- scalar rounds once at the call boundary
 		return
 	}
 	fillSlice(t.data, v)
@@ -317,7 +317,7 @@ func (t *Tensor) Fill(v float64) {
 // storage dtype, then the per-element arithmetic runs at that width.
 func (t *Tensor) Scale(s float64) {
 	if t.dt == Float32 {
-		scaleSlice(t.data32, float32(s)) //lint:allow precision scalar rounds once at the call boundary
+		scaleSlice(t.data32, float32(s)) //lint:allow precision -- scalar rounds once at the call boundary
 		return
 	}
 	scaleSlice(t.data, s)
@@ -332,7 +332,7 @@ func (t *Tensor) AddScaled(s float64, o *Tensor) {
 		panic(fmt.Sprintf("tensor: AddScaled volume mismatch %d vs %d", t.Len(), o.Len()))
 	}
 	if t.dt == Float32 {
-		addScaledSlice(t.data32, o.data32, float32(s)) //lint:allow precision scalar rounds once at the call boundary
+		addScaledSlice(t.data32, o.data32, float32(s)) //lint:allow precision -- scalar rounds once at the call boundary
 		return
 	}
 	addScaledSlice(t.data, o.data, s)
@@ -463,7 +463,7 @@ func mulSlice[E Elem](dst, src []E) {
 func sumSlice[E Elem](d []E) float64 {
 	s := 0.0
 	for _, v := range d {
-		s += float64(v) //lint:allow precision exact widening into the float64 reduction accumulator
+		s += float64(v) //lint:allow precision -- exact widening into the float64 reduction accumulator
 	}
 	return s
 }
@@ -471,7 +471,7 @@ func sumSlice[E Elem](d []E) float64 {
 func sumSqSlice[E Elem](d []E) float64 {
 	s := 0.0
 	for _, v := range d {
-		f := float64(v) //lint:allow precision exact widening into the float64 reduction accumulator
+		f := float64(v) //lint:allow precision -- exact widening into the float64 reduction accumulator
 		s += f * f
 	}
 	return s
@@ -487,14 +487,14 @@ func maxAbsSlice[E Elem](d []E) float64 {
 			m = v
 		}
 	}
-	return float64(m) //lint:allow precision exact widening of a comparison result
+	return float64(m) //lint:allow precision -- exact widening of a comparison result
 }
 
 func argMaxSlice[E Elem](d []E) int {
 	bi := 0
 	best := math.Inf(-1)
 	for i, v := range d {
-		if f := float64(v); f > best { //lint:allow precision exact widening for comparison only
+		if f := float64(v); f > best { //lint:allow precision -- exact widening for comparison only
 			best, bi = f, i
 		}
 	}
