@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: tier1 vet lint race fuzz verify bench bench-agg bench-grid \
-	tier1-f32 race-f32 verify-f32
+	bench-tree tier1-f32 race-f32 verify-f32
 
 tier1:
 	$(GO) build ./...
@@ -49,14 +49,16 @@ race-f32:
 verify-f32: tier1-f32 race-f32
 
 # Short fuzz smoke over the rpc wire contract (nil-vs-abstain regression),
-# the sparse mask codecs, and the self-describing vector payload flrpc
-# ships. `go test -fuzz` accepts one target per invocation, hence four
-# runs. Seeds live in testdata/fuzz/ and f.Add.
+# the sparse mask codecs, the self-describing vector payload flrpc ships,
+# and the tier partial-aggregate message. `go test -fuzz` accepts one
+# target per invocation, hence five runs. Seeds live in testdata/fuzz/
+# and f.Add.
 fuzz:
 	$(GO) test -fuzz '^FuzzAggWire$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/flrpc/
 	$(GO) test -fuzz '^FuzzBitmapPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 	$(GO) test -fuzz '^FuzzIndexPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 	$(GO) test -fuzz '^FuzzVectorPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
+	$(GO) test -fuzz '^FuzzPartialPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 
 verify: tier1 vet lint race fuzz
 
@@ -71,6 +73,13 @@ bench:
 bench-agg:
 	$(GO) test ./internal/fl/ -run xxx -bench '^BenchmarkAggregate' -benchmem -count 3
 	$(GO) test ./internal/sparse/ -run xxx -bench '^BenchmarkVectorPayload$$' -benchmem
+
+# Hierarchical-aggregation benchmark (see BENCH_tree.json for the tracked
+# medians): the root's per-round workload flat vs tree at equal
+# participants — 1000-member cohort from 100k registered, fanout 8/32.
+# Take the median of the 3 counts.
+bench-tree:
+	$(GO) test ./internal/fl/ -run xxx -bench '^BenchmarkTreeRootFold' -benchmem -count 3
 
 # End-to-end harness benchmark: the Table I grid, sequential-uncached vs
 # parallel-cached (the grid scheduler of internal/exp), medians over

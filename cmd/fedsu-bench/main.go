@@ -53,6 +53,9 @@ func main() {
 		seq        = flag.Bool("seq", false, "force sequential grid execution (same as -parallel 1)")
 		gridBench  = flag.Int("gridbench", 0, "run the table1 grid n times sequential-uncached and n times parallel-cached, report medians, and write the BENCH_grid.json document to stdout")
 		dtype      = flag.String("dtype", "float64", "compute precision: float64 (bit-identical legacy results) or float32 (half the memory bandwidth, lossless wire)")
+		population = flag.Int("population", 0, "registered device count for the popscale experiment (e.g. 100000)")
+		cohort     = flag.Int("cohort", 0, "per-round sampled cohort size in population mode (sets the slot count)")
+		fanouts    = flag.String("fanout", "8,32", "comma-separated tree fanouts the popscale experiment compares against the flat fold")
 	)
 	flag.Parse()
 
@@ -70,6 +73,14 @@ func main() {
 		cfg.ModelScale = *modelScale
 	}
 	cfg.Seed = *seed
+	cfg.Population = *population
+	if *cohort > 0 {
+		cfg.Clients = *cohort
+	}
+	popFanouts, err := parseFanouts(*fanouts)
+	if err != nil {
+		fatal(err)
+	}
 	dt, err := tensor.ParseDType(*dtype)
 	if err != nil {
 		fatal(err)
@@ -111,7 +122,7 @@ func main() {
 		runtime.ReadMemStats(&before)
 		resetPeakRSS()
 		start := time.Now()
-		if err := runExperiment(ctx, cfg, id, *outDir, *light); err != nil {
+		if err := runExperiment(ctx, cfg, id, *outDir, *light, popFanouts); err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		var after runtime.MemStats
@@ -127,7 +138,7 @@ func main() {
 	}
 }
 
-func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light bool) error {
+func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light bool, popFanouts []int) error {
 	sweepSet := []exp.Workload{exp.CNNWorkload(), exp.DenseNetWorkload()}
 	if light {
 		sweepSet = []exp.Workload{exp.CNNWorkload()}
@@ -276,6 +287,22 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 				return err
 			}
 		}
+	case "popscale":
+		// Table-I-style run at population scale: a cohort sampled per
+		// round from the registered devices, folded flat and through
+		// hierarchical trees; identical training trajectory, different
+		// root ingest.
+		if cfg.Population == 0 {
+			cfg.Population = 100_000
+		}
+		w := exp.CNNWorkload()
+		res, err := exp.RunPopScale(ctx, cfg, w, "fedavg", popFanouts)
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Render(os.Stdout); err != nil {
+			return err
+		}
 	case "table2":
 		// Per-round compute baselines from the netem calibration.
 		base := map[string]float64{}
@@ -288,9 +315,29 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 		}
 		res.Report(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, async, all)")
+		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, async, popscale, all)")
 	}
 	return nil
+}
+
+// parseFanouts parses the -fanout list ("8,32") into tree fanouts.
+func parseFanouts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var f int
+		if _, err := fmt.Sscanf(part, "%d", &f); err != nil || f < 2 {
+			return nil, fmt.Errorf("bad fanout %q (want integers >= 2)", part)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -fanout list")
+	}
+	return out, nil
 }
 
 func writeCSV(dir, name string, series ...*trace.Series) error {

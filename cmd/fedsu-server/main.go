@@ -20,6 +20,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"fedsu"
 	"fedsu/internal/exp"
@@ -39,8 +40,15 @@ func main() {
 		asyncK    = flag.Int("k", 0, "async buffer size: apply the global every K contributions (default clients/2)")
 		staleness = flag.Int("staleness", 8, "async: drop contributions more than this many versions behind (-1 = unlimited)")
 		staleW    = flag.Float64("staleness-weight", 0.5, "async: per-version contribution weight decay in (0, 1]")
+		fanout    = flag.Int("fanout", 0, "hierarchical aggregation: >= 2 runs the tree collective (relays join aligned id blocks, root folds partials; bit-identical to flat)")
+		upstream  = flag.String("upstream", "", "run as a leaf-aggregator relay of this root coordinator instead of a root (serves -clients members, forwards one partial per round)")
 	)
 	flag.Parse()
+
+	if *upstream != "" {
+		runRelay(*upstream, *addr, *clients, *deadline, *hbGrace)
+		return
+	}
 
 	w, err := exp.WorkloadByName(*workload)
 	if err != nil {
@@ -53,6 +61,7 @@ func main() {
 		ModelSize:      size,
 		Deadline:       *deadline,
 		HeartbeatGrace: *hbGrace,
+		Fanout:         *fanout,
 	}
 	if *async {
 		k := *asyncK
@@ -75,6 +84,9 @@ func main() {
 	mode := "sync barriers"
 	if cfg.Async.Enabled() {
 		mode = fmt.Sprintf("async K=%d maxStale=%d w=%.2f", cfg.Async.K, cfg.Async.MaxStaleness, cfg.Async.StalenessWeight)
+	}
+	if cfg.Fanout >= 2 {
+		mode += fmt.Sprintf(", tree fanout %d", cfg.Fanout)
 	}
 	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params, deadline %v, %s)\n",
 		*clients, svc.Addr(), *workload, size, *deadline, mode)
@@ -99,10 +111,58 @@ func main() {
 		fmt.Printf("fedsu-server: async applied %d globals, dropped %d stale contributions\n",
 			coord.AsyncVersion(), coord.StaleDropCount())
 	}
+	if cfg.Fanout >= 2 {
+		st := coord.TierStats()
+		fmt.Printf("fedsu-server: tree %d tiers, %d leaf folds, %d partials received\n",
+			st.Tiers, st.LeafFolds, st.ForwardedPartials)
+	}
 	if s := coord.Counters().String(); s != "" {
 		fmt.Printf("fedsu-server: %s\n", s)
 	}
 	fmt.Println("fedsu-server: shutting down")
+}
+
+// runRelay serves one aligned block of members as a leaf aggregator of
+// the tree rooted at upstream: the model size and the block's base id are
+// adopted from the root at join time, members dial this process exactly
+// like a flat coordinator, and each round forwards a single partial-sum
+// message upstream.
+func runRelay(upstream, addr string, members int, deadline, hbGrace time.Duration) {
+	relay, err := flrpc.NewRelay(flrpc.RelayConfig{
+		Upstream:       upstream,
+		BlockSize:      members,
+		Deadline:       deadline,
+		HeartbeatGrace: hbGrace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer relay.Close()
+	svc, err := flrpc.Listen(addr, relay.Coordinator())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fedsu-server: relay for %d members on %s (block base %d at root %s, %d params, deadline %v)\n",
+		members, svc.Addr(), relay.BaseID(), upstream, relay.ModelSize(), deadline)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		svc.Close()
+		<-svc.Done()
+	case <-svc.Done():
+		if err := svc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+	if n := relay.Coordinator().EvictionCount(); n > 0 {
+		fmt.Printf("fedsu-server: relay evicted members %v\n", relay.Coordinator().Evicted())
+	}
+	if s := relay.Coordinator().Counters().String(); s != "" {
+		fmt.Printf("fedsu-server: %s\n", s)
+	}
+	fmt.Println("fedsu-server: relay shutting down")
 }
 
 func fatal(err error) {

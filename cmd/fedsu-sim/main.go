@@ -43,6 +43,9 @@ func main() {
 		staleness  = flag.Int("staleness", 8, "async: drop contributions more than this many versions behind (-1 = unlimited)")
 		staleW     = flag.Float64("staleness-weight", 0.5, "async: per-version contribution weight decay in (0, 1]")
 		eventThr   = flag.Float64("event-threshold", 0, "event-triggered uploads: contribute only when the L2 norm of accumulated change crosses this (0 disables)")
+		population = flag.Int("population", 0, "registered device count; > 0 samples a -cohort-sized cohort per round instead of a fixed fleet")
+		cohortSize = flag.Int("cohort", 0, "per-round cohort size in population mode (default: -clients)")
+		fanout     = flag.Int("fanout", 0, "hierarchical aggregation-tree fanout in population mode (0 = flat fold; >= 2 = tree, bit-identical global)")
 	)
 	flag.Parse()
 
@@ -61,14 +64,21 @@ func main() {
 		acfg = fedsu.AsyncConfig{K: k, MaxStaleness: *staleness, StalenessWeight: *staleW}
 	}
 
+	nclients := *clients
+	if *population > 0 && *cohortSize > 0 {
+		// In population mode the engine's client slots ARE the cohort.
+		nclients = *cohortSize
+	}
+
 	sim, err := fedsu.NewSimulation(fedsu.SimulationConfig{
 		Workload: *workload, Scheme: *scheme,
-		Clients: *clients, Rounds: *rounds,
+		Clients: nclients, Rounds: *rounds,
 		LocalIters: *iters, BatchSize: *batch,
 		Samples: *samples, ModelScale: *scale,
 		EvalEvery: *evalEvery, Seed: *seed, FedSU: opts,
 		ProxMu: *proxMu, DType: *dtype,
 		Async: acfg, EventThreshold: *eventThr,
+		Population: *population, Fanout: *fanout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedsu-sim:", err)

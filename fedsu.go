@@ -176,6 +176,15 @@ type SimulationConfig struct {
 	// memory bandwidth and a lossless wire). Aliases "f64"/"f32" are
 	// accepted.
 	DType string
+	// Population enables population-scale cohort rounds: Population
+	// registered devices, with a Clients-sized cohort sampled each round
+	// (deterministic in (Seed, round)) and timed by the population-scale
+	// network model. Zero keeps classic fixed-fleet rounds.
+	Population int
+	// Fanout >= 2 folds population rounds through the hierarchical
+	// aggregation tree (bit-identical global, O(fanout) root work); zero
+	// keeps the flat collective. Requires Population.
+	Fanout int
 }
 
 // Simulation is a configured emulated run.
@@ -242,6 +251,8 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		DType:          dt,
 		Async:          cfg.Async,
 		EventThreshold: cfg.EventThreshold,
+		Population:     cfg.Population,
+		Fanout:         cfg.Fanout,
 	}
 	ds := w.Dataset(cfg.Samples, cfg.Seed+31)
 	builder := func() *nn.Model { return w.ModelOf(dt, w.EffectiveScale(cfg.ModelScale), cfg.Seed+97) }

@@ -145,3 +145,41 @@ func badCrossPackage(s *rpc.Server, conn interface{ Read([]byte) (int, error) })
 func okAnnotatedCrossPackage(s *rpc.Server) {
 	go s.Accept(nil) //lint:allow goleak -- corpus replica: the rpc accept loop is bounded by listener close
 }
+
+// --- hierarchical-collective cases (PR 9) ---
+
+func forwardPartial(sum []float64) { work() }
+
+// The relay ingest fan-in: one submitter per aligned block, joined before
+// the round closes — the sanctioned tier shape.
+func okJoinedBlockSubmitters(blocks [][]float64) {
+	var wg sync.WaitGroup
+	for _, sum := range blocks {
+		wg.Add(1)
+		go func(sum []float64) {
+			defer wg.Done()
+			forwardPartial(sum)
+		}(sum)
+	}
+	wg.Wait()
+}
+
+// A detached upstream forward: nothing observes whether the partial ever
+// landed, and a wedged upstream accumulates one goroutine per round.
+func badDetachedForward(blocks [][]float64) {
+	for _, sum := range blocks {
+		go func(sum []float64) { // want `fire-and-forget goroutine`
+			forwardPartial(sum)
+		}(sum)
+	}
+}
+
+// The tree's deadline timer shape: bounded by the round's quit signal.
+func okExpiryTimerBounded(e *engine) {
+	go func() {
+		select {
+		case <-e.quit:
+		case e.out <- work():
+		}
+	}()
+}

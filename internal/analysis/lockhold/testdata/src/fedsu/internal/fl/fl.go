@@ -159,3 +159,39 @@ func okAnnotatedFold(s *server, n int) {
 	par.ParallelizeGrain(n, 4, func(lo, hi int) {}) //lint:allow lockhold -- corpus replica of the leaf fold lock: par falls back inline and pool workers take no project locks
 	s.mu.Unlock()
 }
+
+// --- hierarchical-collective cases (PR 9) ---
+
+type tree struct {
+	mu       sync.Mutex
+	upstream chan []float64
+	base     int
+}
+
+// Forwarding the root partial while the tree mutex is held wedges the
+// whole tier: every other submitter parks on Lock until the upstream
+// consumer drains the channel.
+func badForwardUnderLock(t *tree, sum []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.upstream <- sum // want `blocking channel send while "t\.mu" is held`
+}
+
+// The cascade contract: snapshot the hook state under the lock, release,
+// and only then run the (possibly blocking) upstream forward.
+func okSnapshotThenForward(t *tree, sum []float64) {
+	t.mu.Lock()
+	up, base := t.upstream, t.base
+	t.mu.Unlock()
+	_ = base
+	up <- sum
+}
+
+// Draining local waiters under the lock blocks on each handoff.
+func badPublishUnderLock(t *tree, waiters []chan []float64, global []float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, w := range waiters {
+		w <- global // want `blocking channel send while "t\.mu" is held`
+	}
+}

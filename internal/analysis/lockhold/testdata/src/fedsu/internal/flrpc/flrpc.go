@@ -36,3 +36,30 @@ func okDialOutsideLock(c *client, addr string) error {
 	c.mu.Unlock()
 	return rc.Call("Svc.Join", 1, nil)
 }
+
+// --- relay cases (PR 9) ---
+
+type relay struct {
+	mu       sync.Mutex
+	upstream *rpc.Client
+	partials int
+}
+
+// A relay forwarding its folded partial upstream while its session mutex
+// is held stalls every member RPC for the round-trip to the root.
+func badForwardPartialUnderLock(r *relay, sum []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.partials++
+	return r.upstream.Call("Coordinator.AggregatePartial", sum, nil) // want `blocking rpc Call I/O while "r\.mu" is held`
+}
+
+// The relay contract: bump counters and snapshot the client under the
+// lock, run the upstream round-trip outside it.
+func okForwardPartialOutsideLock(r *relay, sum []float64) error {
+	r.mu.Lock()
+	r.partials++
+	up := r.upstream
+	r.mu.Unlock()
+	return up.Call("Coordinator.AggregatePartial", sum, nil)
+}

@@ -9,6 +9,11 @@
 // such a slice corrupts the model under every other client simultaneously
 // — silently, because each client's own view stays self-consistent.
 //
+// The hierarchical collective (PR 9) widens the surface: fl.Tree's
+// Aggregate entry points publish the root global the same way, and
+// Tree.AggregatePartial / AggregatePartialCtx — the relay ingest path —
+// hand the identical slice back to every block submitter.
+//
 // The check taints, per function, every variable that may alias a shared
 // aggregation result (via the cfg def-use index: direct assignment,
 // identifier copies, subslices, tuple results) and flags the mutating
@@ -46,11 +51,13 @@ var Analyzer = &analysis.Analyzer{
 // slice among the call's results.
 var sources = map[string]map[string]int{
 	"fedsu/internal/fl": {
-		"AsyncGlobal":       0,
-		"AggregateModel":    0,
-		"AggregateError":    0,
-		"AggregateModelCtx": 0,
-		"AggregateErrorCtx": 0,
+		"AsyncGlobal":         0,
+		"AggregateModel":      0,
+		"AggregateError":      0,
+		"AggregateModelCtx":   0,
+		"AggregateErrorCtx":   0,
+		"AggregatePartial":    0,
+		"AggregatePartialCtx": 0,
 	},
 	"fedsu/internal/sparse": {
 		"AggModel":    0,

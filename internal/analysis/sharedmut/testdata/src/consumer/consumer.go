@@ -129,3 +129,31 @@ func okAnnotatedWrite(s *fl.Server) {
 	g := s.AsyncGlobal()
 	g[0] = 1 //lint:allow sharedmut -- corpus replica of a single-owner test fixture that never shares the snapshot
 }
+
+// --- hierarchical-collective cases (PR 9) ---
+
+// The relay ingest path hands back the same root global as the member
+// entry points: a relay "normalising" through it corrupts every tier.
+func badPartialWrite(t *fl.Tree, sum []float64) error {
+	global, err := t.AggregatePartial(0, "model", 0, sum, 8)
+	if err != nil {
+		return err
+	}
+	global[0] = 0 // want `write through "global", a shared aggregation result`
+	return nil
+}
+
+func badPartialSubsliceWrite(ctx context.Context, t *fl.Tree, sum []float64) {
+	global, _ := t.AggregatePartialCtx(ctx, 0, "model", 0, sum, 8)
+	head := global[:4]
+	copy(head, sum) // want `copy into "head", a shared aggregation result`
+}
+
+// The relay's own forwarding copy is its private buffer: fold into it,
+// ship it, recycle it — only the returned global is shared.
+func okPartialCopyOut(t *fl.Tree, sum []float64) []float64 {
+	global, _ := t.AggregatePartial(0, "model", 0, sum, 8)
+	next := append([]float64(nil), global...)
+	next[0] += 1
+	return next
+}

@@ -17,3 +17,17 @@ func (s *Server) AggregateModel(clientID, round int, values []float64) ([]float6
 func (s *Server) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
 	return s.global, nil
 }
+
+// Tree is the hierarchical collective's stub: the partial ingest path
+// publishes the same shared root global to every block submitter.
+type Tree struct {
+	global []float64
+}
+
+func (t *Tree) AggregatePartial(round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	return t.global, nil
+}
+
+func (t *Tree) AggregatePartialCtx(ctx context.Context, round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	return t.global, nil
+}

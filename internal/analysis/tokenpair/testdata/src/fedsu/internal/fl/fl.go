@@ -1,0 +1,19 @@
+// Package fl is a corpus stub: the tree-collective barrier signatures the
+// tokenpair analyzer matches by package path + name. AggregatePartial
+// parks the caller until the root publishes the round's global, so it is
+// a rendezvous with every other token holder in the cohort.
+package fl
+
+import "context"
+
+type Tree struct {
+	global []float64
+}
+
+func (t *Tree) AggregatePartial(round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	return t.global, nil
+}
+
+func (t *Tree) AggregatePartialCtx(ctx context.Context, round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	return t.global, nil
+}

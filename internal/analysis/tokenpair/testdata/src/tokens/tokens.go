@@ -7,6 +7,7 @@ package tokens
 import (
 	"context"
 
+	"fedsu/internal/fl"
 	"fedsu/internal/par"
 	"fedsu/internal/sparse"
 )
@@ -147,4 +148,31 @@ func okAnnotatedHold(ch chan float64) {
 	par.AcquireToken()
 	defer par.ReleaseToken()
 	ch <- train() //lint:allow tokenpair -- corpus replica: the receiver is a buffered channel drained by a non-token-holding consumer
+}
+
+// --- hierarchical-collective cases (PR 9) ---
+
+// The relay pattern: fold the block under the token, release, THEN park
+// on the partial ingest (which blocks until the root publishes).
+func okReleaseBeforePartial(t *fl.Tree, sum []float64) ([]float64, error) {
+	par.AcquireToken()
+	train()
+	par.ReleaseToken()
+	return t.AggregatePartial(0, "model", 0, sum, 8)
+}
+
+// Holding the token across the tree barrier starves the cohort exactly
+// like the flat SyncRound case: the root cannot publish until every
+// block's partial lands, and the other submitters need tokens to fold.
+func badHoldAcrossPartial(t *fl.Tree, sum []float64) {
+	par.AcquireToken()
+	train()
+	t.AggregatePartial(0, "model", 0, sum, 8) // want `compute token held across collective barrier AggregatePartial`
+	par.ReleaseToken()
+}
+
+func badHoldAcrossPartialCtx(ctx context.Context, t *fl.Tree, sum []float64) ([]float64, error) {
+	par.AcquireToken()
+	defer par.ReleaseToken()
+	return t.AggregatePartialCtx(ctx, 0, "model", 0, sum, 8) // want `compute token held across collective barrier AggregatePartialCtx`
 }

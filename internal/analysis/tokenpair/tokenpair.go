@@ -16,10 +16,12 @@
 //     tokens deadlocks the budget once capacity drains to one;
 //   - release BEFORE every blocking rendezvous with other token holders:
 //     collective barriers (Client.SyncRound/SyncRoundCtx, the
-//     sparse.SyncContext / AggModel / AggError dispatchers) and channel
-//     handshakes. This is the PR 5 engine rule — the token is a
-//     throttle, not a lock, and holding one across a barrier deadlocks
-//     whenever clients outnumber tokens.
+//     sparse.SyncContext / AggModel / AggError dispatchers, and the tree
+//     collective's Tree.AggregatePartial/AggregatePartialCtx relay ingest,
+//     which parks until the root publishes) and channel handshakes. This
+//     is the PR 5 engine rule — the token is a throttle, not a lock, and
+//     holding one across a barrier deadlocks whenever clients outnumber
+//     tokens.
 //
 // par.Parallelize/ParallelizeGrain are deliberately NOT rendezvous here:
 // holding a token across the pool dispatch is the intended pattern (the
@@ -50,7 +52,10 @@ const parPkg = "fedsu/internal/par"
 // barriers maps defining package path -> function/method names whose call
 // is a blocking rendezvous with other token holders.
 var barriers = map[string]map[string]bool{
-	"fedsu/internal/fl":     {"SyncRound": true, "SyncRoundCtx": true},
+	"fedsu/internal/fl": {
+		"SyncRound": true, "SyncRoundCtx": true,
+		"AggregatePartial": true, "AggregatePartialCtx": true,
+	},
 	"fedsu/internal/sparse": {"SyncContext": true, "AggModel": true, "AggError": true},
 }
 

@@ -49,6 +49,14 @@ type Config struct {
 	// EventThreshold enables event-triggered uploads (fl.Config
 	// counterpart); zero disables gating.
 	EventThreshold float64
+	// Population switches runs to population-scale cohort rounds
+	// (fl.Config.Population): Population registered devices, a
+	// Clients-sized cohort sampled per round, timed by the population
+	// network model. Zero keeps classic fixed-fleet rounds.
+	Population int
+	// Fanout >= 2 aggregates population rounds through the hierarchical
+	// tree (fl.Config.Fanout); zero keeps the flat collective.
+	Fanout int
 	// Verbose receives progress lines when non-nil. Grid drivers wrap it so
 	// concurrent runs emit whole, per-run-prefixed lines.
 	Verbose io.Writer
@@ -183,6 +191,8 @@ func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Ar
 		DType:          cfg.DType,
 		Async:          cfg.Async,
 		EventThreshold: cfg.EventThreshold,
+		Population:     cfg.Population,
+		Fanout:         cfg.Fanout,
 	}
 	if cfg.Netem != (netem.Config{}) {
 		flCfg.Netem = cfg.Netem

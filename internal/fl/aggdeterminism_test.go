@@ -13,11 +13,71 @@ import (
 )
 
 // These tests enforce the tentpole invariant of the streaming sharded
-// aggregation: the mean must be bit-identical to the historical serial
-// finish() — a left-fold over contributions in ascending client-id order,
-// scaled by 1/n — at every par worker count and every submission arrival
-// order. referenceMean IS that historical algorithm, kept as the oracle.
+// aggregation: the mean must be bit-identical to the canonical reference
+// — a fixed balanced pairwise tree over ascending-id roster ranks, padded
+// to a power of two with absent ranks as the identity, scaled by 1/n —
+// at every par worker count and every submission arrival order.
+// canonicalMean IS that reference, written as the obviously-correct
+// recursive tree so the streaming binary-counter implementation in
+// fold.go is checked against an independent formulation. The same
+// canonical order is what the hierarchical tree (tree.go) reproduces,
+// which is how tree runs stay bit-identical to the flat server.
 
+// canonicalMean computes the reference mean over ranked contributions:
+// ranked[r] is the vector at roster rank r, or nil for a rank that
+// resolved without contributing (abstain, non-participant, evicted).
+func canonicalMean(ranked [][]float64) []float64 {
+	sum, n := canonicalSum(ranked)
+	if sum == nil {
+		return nil
+	}
+	inv := 1.0 / float64(n)
+	for i := range sum {
+		sum[i] *= inv
+	}
+	return sum
+}
+
+// canonicalSum evaluates the balanced pairwise tree over ranks padded to
+// the next power of two; nil ranks merge as the identity (no arithmetic).
+func canonicalSum(ranked [][]float64) ([]float64, int) {
+	span := 1
+	for span < len(ranked) {
+		span <<= 1
+	}
+	n := 0
+	var rec func(lo, span int) []float64
+	rec = func(lo, span int) []float64 {
+		if span == 1 {
+			if lo < len(ranked) && ranked[lo] != nil {
+				n++
+				out := make([]float64, len(ranked[lo]))
+				copy(out, ranked[lo])
+				return out
+			}
+			return nil
+		}
+		l := rec(lo, span/2)
+		r := rec(lo+span/2, span/2)
+		if l == nil {
+			return r
+		}
+		if r == nil {
+			return l
+		}
+		for i := range l {
+			l[i] += r[i]
+		}
+		return l
+	}
+	return rec(0, span), n
+}
+
+// referenceMean is the historical serial finish(): a left fold over
+// contributions in ascending client-id order, scaled by 1/n. The
+// buffered-async path still folds in arrival order and its K=N special
+// case is pinned to this algorithm (see server_async_test.go); the
+// barrier path has moved to the canonical pairwise order above.
 func referenceMean(byID map[int][]float64) []float64 {
 	ids := make([]int, 0, len(byID))
 	for id := range byID {
@@ -113,13 +173,13 @@ func sameBits(a, b []float64) bool {
 
 // TestAggregateBitDeterminism is the tentpole guarantee: across worker
 // counts 1, 2, 7 and across sorted, reversed, and shuffled arrival orders,
-// the streaming fold must equal the serial ascending-id reference to the
+// the streaming fold must equal the canonical pairwise reference to the
 // last bit. Size 5000 spans several foldGrain blocks so the parallel path
 // actually shards.
 func TestAggregateBitDeterminism(t *testing.T) {
 	const clients, size = 10, 5000
 	vecs := make(map[int][]float64, clients)
-	contributing := make(map[int][]float64)
+	ranked := make([][]float64, clients) // roster {0..9}: rank == id
 	participants := make([]int, 0, clients)
 	for id := 0; id < clients; id++ {
 		switch {
@@ -129,13 +189,13 @@ func TestAggregateBitDeterminism(t *testing.T) {
 			vecs[id] = contributionFor(id, size)
 		default:
 			vecs[id] = contributionFor(id, size)
-			contributing[id] = vecs[id]
+			ranked[id] = vecs[id]
 		}
 		if id != 7 {
 			participants = append(participants, id)
 		}
 	}
-	want := referenceMean(contributing)
+	want := canonicalMean(ranked)
 
 	orders := [][]int{
 		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
@@ -156,7 +216,7 @@ func TestAggregateBitDeterminism(t *testing.T) {
 			}
 			for id, res := range results {
 				if !sameBits(res, want) {
-					t.Fatalf("workers=%d order=%d client %d: result deviates from serial ascending-id reference", workers, oi, id)
+					t.Fatalf("workers=%d order=%d client %d: result deviates from canonical pairwise reference", workers, oi, id)
 				}
 			}
 		}
@@ -207,16 +267,18 @@ func TestAggregateLengthMismatchDeterminism(t *testing.T) {
 }
 
 // TestAggregateEvictionMidStreamBits: a barrier closed by deadline eviction
-// must produce the bit-exact ascending-id mean over the clients that did
-// submit, matching the serial reference over that contributor set.
+// must produce the bit-exact canonical mean over the clients that did
+// submit — evicted ranks merge as the identity at their roster positions.
 func TestAggregateEvictionMidStreamBits(t *testing.T) {
 	const clients, size = 5, 3000
 	submitters := []int{0, 2, 4} // 1 and 3 miss the deadline
 	vecs := make(map[int][]float64)
+	ranked := make([][]float64, clients)
 	for _, id := range submitters {
 		vecs[id] = contributionFor(id, size)
+		ranked[id] = vecs[id]
 	}
-	want := referenceMean(vecs)
+	want := canonicalMean(ranked)
 
 	for _, workers := range []int{1, 7} {
 		prev := par.SetWorkers(workers)
@@ -248,7 +310,10 @@ func TestAggregateStrayContribution(t *testing.T) {
 	const size = 2600
 	v0 := contributionFor(0, size)
 	v5 := contributionFor(5, size)
-	want := referenceMean(map[int][]float64{0: v0, 5: v5})
+	// The stray-forced refold ranks the combined contributors densely in
+	// ascending id order (roster positions are meaningless once an outside
+	// id interleaves), so the reference is the canonical tree over [v0, v5].
+	want := canonicalMean([][]float64{v0, v5})
 
 	s := NewServer(6)
 	s.SetRoster([]int{0, 1})

@@ -68,6 +68,13 @@ func (c *Client) SetProximal(mu float64) { c.proxMu = mu }
 // iteration's gradient is augmented with μ(x − x_round), anchoring local
 // training to the round-start (global) model.
 func (c *Client) TrainLocal(iters, batchSize int) float64 {
+	// A client whose shard is empty — possible once cohorts are sampled
+	// from a population far larger than the corpus — trains nothing and
+	// later submits its unchanged round-start replica (plain FedAvg
+	// semantics for a data-less device).
+	if c.shard.Len() == 0 {
+		return 0
+	}
 	if c.proxMu > 0 {
 		if c.roundVec == nil {
 			c.roundVec = make([]float64, c.model.Size())

@@ -71,6 +71,32 @@ type Config struct {
 	// header-only traffic otherwise. Zero disables gating. Composes with
 	// every strategy and with both sync and async rounds.
 	EventThreshold float64
+	// Population enables population-scale cohort rounds: Population
+	// registered descriptors form the device registry (10^5–10^6 in
+	// cross-device deployments), and each round trains the cohort drawn by
+	// Population.SampleCohort(round, Cohort) — deterministic given (Seed,
+	// round), so runs reproduce and checkpoints resume without storing any
+	// sampling state. The engine's NumClients model replicas act as slots:
+	// slot i plays cohort member cohort[i] for the round (cross-device
+	// clients are stateless between selections, so a slot's replica — which
+	// holds the global model after every sync — is exactly the state a
+	// freshly selected device would download). Zero keeps classic
+	// fixed-fleet rounds. Population mode is synchronous-only and the
+	// fleet is fixed-size (AddClient/RemoveClient are rejected).
+	Population int
+	// Cohort is the per-round sampled cohort size in population mode; zero
+	// defaults to NumClients, any other value must equal NumClients (one
+	// slot per sampled member).
+	Cohort int
+	// Fanout >= 2 aggregates population-mode rounds through a hierarchical
+	// fl.Tree instead of the flat server: leaves fold cohort blocks and
+	// forward one partial upward, so root work is O(fanout) rather than
+	// O(cohort). The global is bit-identical to the flat fold at any
+	// fanout. Zero keeps the flat collective.
+	Fanout int
+	// PopNetem configures the population-scale timing model; the zero
+	// value means netem.DefaultPopulationConfig(Population, fanout).
+	PopNetem netem.PopulationConfig
 	// DType declares the compute precision the model builder was configured
 	// for. The engine derives the actual precision from the built replicas
 	// (batches, evaluation, and the optimizer all follow the model's
@@ -129,6 +155,25 @@ type RoundStats struct {
 	// AsyncConfig.MaxStaleness during this async version window (zero in
 	// synchronous mode).
 	StaleDrops int
+	// CohortSize is the sampled cohort size (population mode; zero in
+	// classic fixed-fleet rounds).
+	CohortSize int
+	// Tiers is the aggregation-tree depth used this round (1 for the flat
+	// collective; zero outside population mode).
+	Tiers int
+	// LeafFolds and ForwardedPartials count this round's leaf fold batches
+	// and upward partial messages (tree collective only).
+	LeafFolds int
+	// ForwardedPartials counts partial-sum messages sent up the tree this
+	// round.
+	ForwardedPartials int
+	// TierEvictions[i] is this round's eviction count at tier i (0 =
+	// leaves); nil when no tier evicted anyone.
+	TierEvictions []int
+	// RootRxBytes is the modeled payload the root aggregator ingested this
+	// round: one partial per root-tier child under a tree, the full cohort
+	// upload when flat.
+	RootRxBytes int
 }
 
 // Engine drives an emulated federated run.
@@ -139,6 +184,14 @@ type Engine struct {
 	cluster  *netem.Cluster
 	compute  netem.ComputeModel
 	strategy string
+
+	// Population mode (cfg.Population > 0): the device registry, the
+	// population-scale timing model, the optional tree collective, and one
+	// slot proxy per client rebinding its collective identity each round.
+	pop      *Population
+	popModel *netem.PopulationModel
+	tree     *Tree
+	proxies  []*slotProxy
 
 	evalModel *nn.Model
 	evalX     []evalBatch
@@ -228,6 +281,9 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 		factory:   factory,
 		nextID:    cfg.NumClients,
 	}
+	if err := e.setupPopulation(); err != nil {
+		return nil, err
+	}
 	for i := 0; i < cfg.NumClients; i++ {
 		model := builder()
 		optOpts := []opt.SGDOpt{
@@ -238,7 +294,7 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 			optOpts = append(optOpts, opt.WithSchedule(opt.InverseSqrt(cfg.LRDecayWarm)))
 		}
 		optimizer := opt.NewSGD(cfg.LR, optOpts...)
-		syncer := factory(i, model.Size(), server)
+		syncer := factory(i, model.Size(), e.slotCollective())
 		if cfg.Async.Enabled() {
 			switch sparse.UnwrapSyncer(syncer).Name() {
 			case "fedavg", "cmfl", "qsgd":
@@ -310,6 +366,9 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	}
 	if e.cfg.Async.Enabled() {
 		return RoundStats{}, fmt.Errorf("fl: RunRound is the synchronous-barrier driver; async mode runs through Run (event loop)")
+	}
+	if e.pop != nil {
+		return e.runPopRound(ctx, evaluate)
 	}
 	// Dynamic departures (RemoveClient) can drain the roster entirely; every
 	// aggregate below divides by the client count and probes clients[0].

@@ -9,11 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
-
-	"fedsu/internal/par"
-	"fedsu/internal/sparse"
 )
 
 // ErrEvicted reports that a client was evicted from the session after
@@ -42,9 +38,13 @@ func (e *EvictedError) Unwrap() error { return ErrEvicted }
 // contributing participants.
 //
 // Submission order across clients is arbitrary (clients run in goroutines),
-// but results are deterministic: contributions are folded in client-id
-// order, and the parallel fold shards over the parameter index so every
-// element sees the exact same addition sequence at every worker count.
+// but results are deterministic: contributions combine in the canonical
+// rank-aligned pairwise order of the fold node (fold.go) — a fixed
+// balanced binary tree over ascending client-id ranks — and the parallel
+// fold shards over the parameter index so every element sees the exact
+// same addition sequence at every worker count. The same canonical order
+// is what makes a hierarchical tree run (tree.go) bit-identical to this
+// flat server.
 //
 // # Streaming aggregation
 //
@@ -147,49 +147,12 @@ type op struct {
 	// must be a no-op instead of evicting the new barrier's clients.
 	gen uint64
 
-	// Immutable after creation: the op's roster in ascending id order, and
-	// the id → position index.
-	order []int
-	pos   map[int]int
+	// fold is the streaming fold node (fold.go): the roster order, staged
+	// contributions, stray handling, and the canonical pairwise reduction
+	// all live there. The op contributes only barrier bookkeeping.
+	fold *foldNode
 
-	// status[p] is written by stagers and evictions (atomic release) and
-	// read by the fold path (atomic acquire); staged[p] is published by the
-	// posStaged store and only read after the corresponding load.
-	//
-	// staged[p] normally references the SUBMITTING CALLER'S slice: the
-	// caller stays blocked in wait() until the barrier closes, so the slice
-	// is stable for exactly as long as the fold needs it, and the hot path
-	// never copies. The one escape hatch — a caller abandoning the wait on
-	// ctx cancellation, after which it may legally reuse its slice — goes
-	// through detach(), which snapshots the contribution into a pooled
-	// buffer first. ownedPtr[p] is non-nil iff staged[p] is such a pooled
-	// copy (to be released at completion).
-	status   []atomic.Uint32
-	staged   [][]float64
-	ownedPtr []*[]float64
-
-	// Fold state, guarded by foldMu. frontier counts resolved-and-folded
-	// positions; sumLen is -1 until the first contribution fixes the
-	// element count; strays holds contributions from ids outside the op's
-	// roster, which force a full ordered refold at completion.
-	foldMu   sync.Mutex
-	frontier int
-	folded   int
-	sumLen   int
-	sum      []float64
-	lenFail  error
-	strays   map[int]*[]float64
-
-	// Scratch for fold batches, plus persistent parallel kernels (created
-	// once per op shell so steady-state folds allocate nothing).
-	batch    [][]float64
-	batchIDs []int
-	foldVals [][]float64
-	scaleInv float64
-	foldFn   func(lo, hi int)
-	scaleFn  func(lo, hi int)
-
-	// Published under foldMu before done closes; read by waiters after.
+	// Published before done closes; read by waiters after.
 	result  []float64
 	failure error
 	done    chan struct{}
@@ -373,28 +336,7 @@ func (s *Server) newOpLocked() *op {
 		o = &op{
 			submitted: map[int]bool{},
 			pending:   map[int]bool{},
-			pos:       map[int]int{},
-			sumLen:    -1,
-		}
-		// The fold kernels live as long as the op shell: they read the
-		// current batch fields, so a steady-state fold performs no closure
-		// allocation. Synchronization is by par's dispatch (channel send
-		// before, WaitGroup after), not by foldMu.
-		o.foldFn = func(lo, hi int) {
-			dst := o.sum[lo:hi]
-			for _, v := range o.foldVals {
-				src := v[lo:hi]
-				for i := range dst {
-					dst[i] += src[i]
-				}
-			}
-		}
-		o.scaleFn = func(lo, hi int) {
-			dst := o.sum[lo:hi]
-			inv := o.scaleInv
-			for i := range dst {
-				dst[i] *= inv
-			}
+			fold:      newFoldNode(),
 		}
 	}
 	o.gen++
@@ -411,29 +353,7 @@ func (s *Server) newOpLocked() *op {
 		}
 	}
 	o.need = len(o.pending)
-	o.order = o.order[:0]
-	for id := range o.pending {
-		o.order = append(o.order, id)
-	}
-	sortInts(o.order)
-	for p, id := range o.order {
-		o.pos[id] = p
-	}
-	n := len(o.order)
-	if cap(o.status) >= n {
-		o.status = o.status[:n]
-		o.staged = o.staged[:n]
-		o.ownedPtr = o.ownedPtr[:n]
-	} else {
-		o.status = make([]atomic.Uint32, n)
-		o.staged = make([][]float64, n)
-		o.ownedPtr = make([]*[]float64, n)
-	}
-	for i := range o.status {
-		o.status[i].Store(posPending)
-		o.staged[i] = nil
-		o.ownedPtr[i] = nil
-	}
+	o.fold.arm(o.pending)
 	return o
 }
 
@@ -442,27 +362,13 @@ func (s *Server) newOpLocked() *op {
 func (s *Server) recycleOpLocked(o *op) {
 	clear(o.submitted)
 	clear(o.pending)
-	clear(o.pos)
 	o.subs, o.need = 0, 0
 	o.finished, o.extended = false, false
-	o.frontier, o.folded, o.sumLen = 0, 0, -1
-	o.sum, o.result = nil, nil
-	o.failure, o.lenFail = nil, nil
+	o.result, o.failure = nil, nil
 	o.done = nil
 	// Completion already released the staged buffers; a straggler that
-	// published after the barrier closed is swept here.
-	for p := range o.staged {
-		sparse.PutVec(o.ownedPtr[p])
-		o.ownedPtr[p] = nil
-		o.staged[p] = nil
-	}
-	for id, buf := range o.strays {
-		sparse.PutVec(buf)
-		delete(o.strays, id)
-	}
-	o.batch = o.batch[:0]
-	o.batchIDs = o.batchIDs[:0]
-	o.foldVals = nil
+	// published after the barrier closed is swept by the node's reset.
+	o.fold.reset()
 	s.opFree = append(s.opFree, o)
 }
 
@@ -529,7 +435,7 @@ func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string
 	return s.wait(ctx, o, detach)
 }
 
-// stage publishes a contribution to the fold state and opportunistically
+// stage publishes a contribution to the fold node and opportunistically
 // drains the fold frontier. Roster contributions are staged by reference —
 // the submitting caller stays blocked until the barrier closes, so its
 // slice is stable for the fold's lifetime; an abandoned wait detaches a
@@ -538,178 +444,33 @@ func (s *Server) aggregate(ctx context.Context, clientID, round int, kind string
 // aliasing bug where the server retained the slice past the call and a
 // client reusing its round vector could corrupt an open barrier.
 func (s *Server) stage(o *op, clientID int, values []float64, contributing bool) int {
-	p, inRoster := o.pos[clientID]
 	if !contributing {
-		if inRoster {
-			o.status[p].Store(posSkip)
-			s.tryDrain(o)
-		}
+		o.fold.stage(clientID, nil, false)
 		return -1
 	}
+	p, inRoster := o.fold.stage(clientID, values, true)
 	if inRoster {
-		o.staged[p] = values
-		o.status[p].Store(posStaged)
-		s.tryDrain(o)
 		return p
 	}
 	// A contributor outside the op's roster snapshot (readmitted mid-round,
 	// or a participant excluded from SetRoster). It still counts toward the
 	// mean, but its id can interleave anywhere in the fold order, so its
 	// presence forces completion to refold everything from the retained
-	// contributions. Strays are rare: copy eagerly rather than wiring them
-	// into the detach path.
-	buf := sparse.GetVec(len(values))
-	copy(*buf, values)
-	o.foldMu.Lock()
-	if o.strays == nil {
-		o.strays = map[int]*[]float64{}
-	}
-	o.strays[clientID] = buf
-	o.foldMu.Unlock()
+	// contributions.
+	o.fold.addStray(clientID, values, 1)
 	return -1
-}
-
-// tryDrain folds whatever the frontier allows if the fold lock is free;
-// otherwise the current holder (or the completion drain) picks the work up.
-func (s *Server) tryDrain(o *op) {
-	if !o.foldMu.TryLock() {
-		return
-	}
-	o.drainLocked(false)
-	o.foldMu.Unlock()
-}
-
-// drainLocked advances the frontier over resolved positions, folding staged
-// contributions in ascending client-id order. With final set (completion),
-// positions that never resolved — possible when stray submissions filled
-// the quorum — contribute nothing, matching the contributors-only mean.
-// Caller holds foldMu.
-func (o *op) drainLocked(final bool) {
-	for {
-		o.batch = o.batch[:0]
-		o.batchIDs = o.batchIDs[:0]
-		f := o.frontier
-		for f < len(o.order) {
-			st := o.status[f].Load()
-			if st == posPending {
-				if !final {
-					break
-				}
-			} else if st == posStaged {
-				o.batch = append(o.batch, o.staged[f])
-				o.batchIDs = append(o.batchIDs, o.order[f])
-			}
-			f++
-		}
-		if f == o.frontier {
-			return
-		}
-		if !final && len(o.batch) > 0 && len(o.batch) < drainMinBatch {
-			// Not worth a fold pass yet; leave the run staged for a larger
-			// batch. (Skip-only runs always advance, above.)
-			return
-		}
-		o.frontier = f
-		o.foldBatchLocked()
-		if final {
-			return
-		}
-	}
-}
-
-// foldBatchLocked folds o.batch (ascending ids) into the running sum with
-// one parallel pass over the parameter dimension. Every element receives
-// the batch's additions in id order within a single chunk, so the result
-// is bit-identical at every worker count and grain. Caller holds foldMu.
-func (o *op) foldBatchLocked() {
-	if o.lenFail != nil {
-		return
-	}
-	k := 0
-	for k < len(o.batch) {
-		v := o.batch[k]
-		if o.sumLen < 0 {
-			o.sumLen = len(v)
-			o.sum = make([]float64, o.sumLen)
-		}
-		if len(v) != o.sumLen {
-			o.lenFail = fmt.Errorf("fl: client %d submitted %d values, others %d", o.batchIDs[k], len(v), o.sumLen)
-			break
-		}
-		k++
-	}
-	if k == 0 {
-		return
-	}
-	o.foldVals = o.batch[:k]
-	par.ParallelizeGrain(o.sumLen, foldGrain, o.foldFn)
-	o.folded += k
-	o.foldVals = nil
-}
-
-// refoldLocked recomputes the fold from scratch over every retained
-// contribution — roster positions and strays together, sorted ascending —
-// restoring the exact client-id-order mean when stray ids would otherwise
-// have interleaved below the already-folded frontier. Caller holds foldMu.
-func (o *op) refoldLocked() {
-	o.batch = o.batch[:0]
-	o.batchIDs = o.batchIDs[:0]
-	for p, id := range o.order {
-		if o.status[p].Load() == posStaged {
-			o.batch = append(o.batch, o.staged[p])
-			o.batchIDs = append(o.batchIDs, id)
-		}
-	}
-	for id, buf := range o.strays {
-		o.batch = append(o.batch, *buf)
-		o.batchIDs = append(o.batchIDs, id)
-	}
-	// Co-sort by id (insertion: small, mostly sorted already).
-	for i := 1; i < len(o.batchIDs); i++ {
-		id, v := o.batchIDs[i], o.batch[i]
-		j := i - 1
-		for j >= 0 && o.batchIDs[j] > id {
-			o.batchIDs[j+1], o.batch[j+1] = o.batchIDs[j], o.batch[j]
-			j--
-		}
-		o.batchIDs[j+1], o.batch[j+1] = id, v
-	}
-	o.sum, o.sumLen = nil, -1
-	o.folded = 0
-	o.lenFail = nil
-	o.foldBatchLocked()
 }
 
 // complete drains the remaining fold work, publishes the mean (or the
 // failure), releases the staged buffers, and wakes every waiter. It runs
 // outside s.mu on exactly one goroutine per op (guarded by o.finished).
 func (s *Server) complete(o *op) {
-	o.foldMu.Lock()
-	o.drainLocked(true)
-	if len(o.strays) > 0 {
-		o.refoldLocked()
+	res, _, err := o.fold.complete(true)
+	if err != nil {
+		o.failure = err
+	} else {
+		o.result = res
 	}
-	if o.lenFail != nil {
-		o.failure = o.lenFail
-	} else if o.folded > 0 {
-		o.scaleInv = 1.0 / float64(o.folded)
-		//lint:allow lockhold -- foldMu is the leaf fold lock: complete is its sole holder after finish, and pool workers never take it, so the dispatch cannot deadlock
-		par.ParallelizeGrain(o.sumLen, foldGrain, o.scaleFn)
-		o.result = o.sum
-	}
-	// Drop every staged reference — caller slices are about to go back to
-	// their owners, pooled copies back to the pool — so a post-completion
-	// detach sees nil and does nothing.
-	for p := range o.staged {
-		sparse.PutVec(o.ownedPtr[p])
-		o.ownedPtr[p] = nil
-		o.staged[p] = nil
-	}
-	for id, buf := range o.strays {
-		sparse.PutVec(buf)
-		delete(o.strays, id)
-	}
-	o.foldMu.Unlock()
 	close(o.done)
 }
 
@@ -723,7 +484,7 @@ func (s *Server) wait(ctx context.Context, o *op, detach int) ([]float64, error)
 	case <-o.done:
 	case <-ctx.Done():
 		if detach >= 0 {
-			o.detach(detach)
+			o.fold.detach(detach)
 		}
 		return nil, ctx.Err()
 	}
@@ -731,21 +492,6 @@ func (s *Server) wait(ctx context.Context, o *op, detach int) ([]float64, error)
 		return nil, o.failure
 	}
 	return o.result, nil
-}
-
-// detach replaces a reference-staged contribution with a pooled copy. The
-// fold lock excludes concurrent drains, so the swap is safe even while the
-// barrier is mid-fold; after completion the slot is nil and the slice is
-// no longer needed.
-func (o *op) detach(p int) {
-	o.foldMu.Lock()
-	if o.staged[p] != nil && o.ownedPtr[p] == nil {
-		buf := sparse.GetVec(len(o.staged[p]))
-		copy(*buf, o.staged[p])
-		o.staged[p] = *buf
-		o.ownedPtr[p] = buf
-	}
-	o.foldMu.Unlock()
 }
 
 // expire closes a deadline-expired barrier: every pending client is either
@@ -810,9 +556,7 @@ func (s *Server) evictLocked(clientID int, completable *[]*op) {
 		}
 		delete(o.pending, clientID)
 		o.need--
-		if p, ok := o.pos[clientID]; ok {
-			o.status[p].Store(posSkip)
-		}
+		o.fold.skip(clientID)
 		if o.subs >= o.need {
 			o.finished = true
 			if o.timer != nil {

@@ -1,0 +1,624 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Tree is the hierarchical aggregation service: the same collective
+// barrier contract as Server, but the fold is distributed over a
+// multi-tier tree of fold nodes (fold.go). Each leaf aggregator folds the
+// submissions of its fanout-sized slice of the cohort roster locally and
+// forwards ONE partial — (canonical sum, contributor weight) — to its
+// parent; tiers repeat until the root, which scales the total by the
+// total weight. Root work is O(fanout), not O(participants), which is
+// what lets a cohort sampled from a 10^5–10^6 population aggregate
+// without a single server folding every submission.
+//
+// # Bit-identity with the flat server
+//
+// Because every fold node combines its children in the canonical
+// rank-aligned pairwise order (see fold.go), and because leaves cover
+// ALIGNED power-of-two blocks of roster ranks (fanout is rounded up to a
+// power of two), the tree evaluates exactly the same balanced binary
+// addition tree over roster ranks as the flat server — the grouping of
+// every float64 addition is identical, so the global vector is identical
+// to the last bit at any fanout and any par worker count. The identical
+// contributor count makes the final 1/n scale identical too. This is
+// enforced by TestTreeFlatBitIdentity across fanouts {2, 8, 32}.
+//
+// # Fault tolerance
+//
+// SetDeadline bounds the whole collective: the deadline runs from the
+// first submission, one alive-probe extension applies (same semantics as
+// Server), and on expiry the missing clients are evicted from their
+// leaves, every tier completes with the partials it has (an empty leaf
+// forwards the identity), and the mean is over actual contributors.
+// Per-tier eviction and forwarding counters are exposed for RoundStats.
+//
+// # Restrictions
+//
+// The tree forbids stray contributions (ids outside the roster snapshot
+// error immediately): a stray cannot be assigned a rank without refolding
+// the whole tree, and the population/cohort flow always declares the
+// roster up front. Buffered-async mode and mid-round roster edits are
+// Server-only features.
+type Tree struct {
+	mu           sync.Mutex
+	fanout       int
+	roster       []int
+	pos          map[int]int
+	participants map[int]bool
+	round        int
+	cols         map[opKey]*treeCol
+
+	deadline   time.Duration
+	aliveProbe func(clientID int) bool
+	evicted    map[int]bool
+
+	evictions int
+	timeouts  int
+
+	// Subtree (relay) mode: when upstream is non-nil this tree is one
+	// aligned block of a larger roster — the root node forwards its raw
+	// partial through upstream instead of scaling a mean, and publishes
+	// whatever the upstream returns. upstreamBase is the block's first
+	// rank in the enclosing roster.
+	upstream     UpstreamFunc
+	upstreamBase int
+
+	// Cumulative per-tier telemetry (tier 0 = leaves). tierEvictions[0]
+	// counts client evictions at the leaves; higher tiers count child
+	// aggregators that contributed nothing to their parent.
+	tierEvictions []int
+	leafFolds     int
+	partials      int
+
+	gen      uint64
+	nodeFree []*foldNode
+	colFree  []*treeCol
+}
+
+// treeCol is one collective (round, kind): the tier topology plus the
+// barrier bookkeeping, all guarded by Tree.mu except the fold nodes.
+type treeCol struct {
+	gen      uint64
+	key      opKey
+	tiers    [][]*treeTierNode
+	need     int
+	subs     int
+	pending  map[int]bool
+	submit   map[int]bool
+	finished bool
+	timer    *time.Timer
+	extended bool
+
+	result  []float64
+	failure error
+	done    chan struct{}
+}
+
+// treeTierNode is one aggregator of the tree. done flips under Tree.mu
+// when the last expected input resolves; the flagged goroutine runs the
+// node's fold completion outside the lock and forwards the partial.
+type treeTierNode struct {
+	fold      *foldNode
+	tier      int
+	index     int // position within its tier == child rank at the parent
+	need      int
+	subs      int
+	done      bool
+	remote    bool // resolved by a remote partial (AggregatePartial)
+	contribed bool // forwarded a non-identity partial (counters)
+	failure   error
+}
+
+// NewTree builds a hierarchical aggregator with the given fanout (values
+// below 2 default to 2; non-powers of two round up, preserving rank
+// alignment). The roster is declared by SetRoster before the first
+// collective of a round.
+func NewTree(fanout int) *Tree {
+	f := 2
+	for f < fanout {
+		f <<= 1
+	}
+	return &Tree{
+		fanout:  f,
+		pos:     map[int]int{},
+		cols:    map[opKey]*treeCol{},
+		evicted: map[int]bool{},
+	}
+}
+
+// Fanout returns the effective (power-of-two) fanout.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// SetDeadline bounds every collective barrier (see Server.SetDeadline).
+func (t *Tree) SetDeadline(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.deadline = d
+}
+
+// SetAliveProbe installs the liveness oracle consulted on deadline expiry
+// (see Server.SetAliveProbe).
+func (t *Tree) SetAliveProbe(probe func(clientID int) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.aliveProbe = probe
+}
+
+// SetRoster declares the cohort for subsequent collectives, in any order;
+// ranks are assigned by ascending id. Must not be called while
+// collectives are in flight.
+func (t *Tree) SetRoster(ids []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roster = t.roster[:0]
+	for _, id := range ids {
+		if !t.evicted[id] {
+			t.roster = append(t.roster, id)
+		}
+	}
+	sortInts(t.roster)
+	clear(t.pos)
+	for p, id := range t.roster {
+		t.pos[id] = p
+	}
+}
+
+// BeginRound declares the active round and participation quorum and
+// garbage-collects the previous round's collectives (see
+// Server.BeginRound).
+func (t *Tree) BeginRound(round int, participants []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.round = round
+	if t.participants == nil {
+		t.participants = make(map[int]bool, len(participants))
+	}
+	clear(t.participants)
+	for _, id := range participants {
+		t.participants[id] = true
+	}
+	for k, c := range t.cols {
+		if c.timer != nil {
+			c.timer.Stop()
+			c.timer = nil
+		}
+		if c.finished {
+			t.recycleColLocked(c)
+		}
+		delete(t.cols, k)
+	}
+}
+
+// Evicted returns the currently evicted client ids in ascending order.
+func (t *Tree) Evicted() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, 0, len(t.evicted))
+	for id := range t.evicted {
+		out = append(out, id)
+	}
+	sortInts(out)
+	return out
+}
+
+// Readmit clears a client's evicted status; it re-enters at the next
+// SetRoster that lists it.
+func (t *Tree) Readmit(clientID int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.evicted, clientID)
+}
+
+// EvictionCount returns the cumulative number of client evictions.
+func (t *Tree) EvictionCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictions
+}
+
+// TimeoutCount returns the cumulative number of deadline-closed
+// collectives.
+func (t *Tree) TimeoutCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timeouts
+}
+
+// TierStats is the per-tree telemetry snapshot surfaced in RoundStats.
+type TierStats struct {
+	// Tiers is the number of aggregation tiers (leaves included, root
+	// included) of the most recent topology.
+	Tiers int
+	// LeafFolds counts completed leaf fold batches (one per leaf per
+	// collective).
+	LeafFolds int
+	// ForwardedPartials counts partial messages sent upward (leaf and mid
+	// tiers; the root consumes, never forwards).
+	ForwardedPartials int
+	// TierEvictions[i] counts, cumulatively, inputs tier i closed without:
+	// index 0 is clients evicted at the leaves, index i>0 is child
+	// aggregators that forwarded nothing.
+	TierEvictions []int
+}
+
+// Stats returns cumulative tree telemetry.
+func (t *Tree) Stats() TierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tiers := 0
+	if n := len(t.roster); n > 0 {
+		tiers = 1
+		for w := (n + t.fanout - 1) / t.fanout; w > 1; w = (w + t.fanout - 1) / t.fanout {
+			tiers++
+		}
+	}
+	out := TierStats{
+		Tiers:             tiers,
+		LeafFolds:         t.leafFolds,
+		ForwardedPartials: t.partials,
+		TierEvictions:     append([]int(nil), t.tierEvictions...),
+	}
+	return out
+}
+
+// AggregateModel implements sparse.Aggregator (see Server.AggregateModel
+// for the ownership contract).
+func (t *Tree) AggregateModel(clientID, round int, values []float64) ([]float64, error) {
+	return t.aggregate(context.Background(), clientID, round, "model", values)
+}
+
+// AggregateError implements sparse.Aggregator.
+func (t *Tree) AggregateError(clientID, round int, values []float64) ([]float64, error) {
+	return t.aggregate(context.Background(), clientID, round, "error", values)
+}
+
+// AggregateModelCtx implements sparse.ContextAggregator.
+func (t *Tree) AggregateModelCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return t.aggregate(ctx, clientID, round, "model", values)
+}
+
+// AggregateErrorCtx implements sparse.ContextAggregator.
+func (t *Tree) AggregateErrorCtx(ctx context.Context, clientID, round int, values []float64) ([]float64, error) {
+	return t.aggregate(ctx, clientID, round, "error", values)
+}
+
+// newColLocked builds (or recycles) the tier topology for the current
+// roster. Leaves cover aligned fanout-sized rank blocks; each tier above
+// folds fanout children until one root remains. Caller holds t.mu.
+func (t *Tree) newColLocked(key opKey) *treeCol {
+	var c *treeCol
+	if n := len(t.colFree); n > 0 {
+		c, t.colFree = t.colFree[n-1], t.colFree[:n-1]
+	} else {
+		c = &treeCol{pending: map[int]bool{}, submit: map[int]bool{}}
+	}
+	t.gen++
+	c.gen = t.gen
+	c.key = key
+	c.done = make(chan struct{})
+	for _, id := range t.roster {
+		c.pending[id] = true
+	}
+	c.need = len(t.roster)
+
+	// Tier 0: leaves over rank blocks. The leaf fold is armed with the
+	// actual member ids of its block, so stage-by-id and local detach
+	// positions work exactly as in the flat server.
+	n := len(t.roster)
+	width := (n + t.fanout - 1) / t.fanout
+	if width < 1 {
+		width = 1
+	}
+	leaves := make([]*treeTierNode, 0, width)
+	pending := map[int]bool{}
+	for l := 0; l < width; l++ {
+		lo := l * t.fanout
+		hi := lo + t.fanout
+		if hi > n {
+			hi = n
+		}
+		node := &treeTierNode{fold: t.getNodeLocked(), tier: 0, index: l, need: hi - lo}
+		clear(pending)
+		for r := lo; r < hi; r++ {
+			pending[t.roster[r]] = true
+		}
+		node.fold.arm(pending)
+		leaves = append(leaves, node)
+	}
+	c.tiers = c.tiers[:0]
+	c.tiers = append(c.tiers, leaves)
+
+	// Tiers above: weighted rank folds over child indexes, until width 1.
+	tier := 1
+	for width > 1 {
+		parentWidth := (width + t.fanout - 1) / t.fanout
+		nodes := make([]*treeTierNode, 0, parentWidth)
+		for i := 0; i < parentWidth; i++ {
+			lo := i * t.fanout
+			hi := lo + t.fanout
+			if hi > width {
+				hi = width
+			}
+			node := &treeTierNode{fold: t.getNodeLocked(), tier: tier, index: i, need: hi - lo}
+			node.fold.armRanks(hi-lo, true)
+			nodes = append(nodes, node)
+		}
+		c.tiers = append(c.tiers, nodes)
+		width = parentWidth
+		tier++
+	}
+	for len(t.tierEvictions) < len(c.tiers) {
+		t.tierEvictions = append(t.tierEvictions, 0)
+	}
+	return c
+}
+
+func (t *Tree) getNodeLocked() *foldNode {
+	if n := len(t.nodeFree); n > 0 {
+		f := t.nodeFree[n-1]
+		t.nodeFree = t.nodeFree[:n-1]
+		return f
+	}
+	return newFoldNode()
+}
+
+// recycleColLocked resets a finished collective's shells onto the free
+// lists. Caller holds t.mu; no waiter can still be inside (BeginRound
+// contract).
+func (t *Tree) recycleColLocked(c *treeCol) {
+	clear(c.pending)
+	clear(c.submit)
+	c.key = opKey{}
+	c.need, c.subs = 0, 0
+	c.finished, c.extended = false, false
+	c.result, c.failure = nil, nil
+	c.done = nil
+	for _, tier := range c.tiers {
+		for _, node := range tier {
+			node.fold.reset()
+			t.nodeFree = append(t.nodeFree, node.fold)
+			node.fold = nil
+		}
+	}
+	c.tiers = c.tiers[:0]
+	t.colFree = append(t.colFree, c)
+}
+
+// leafFor maps a roster rank to its leaf node and is only valid while the
+// collective's topology is alive. Caller holds t.mu.
+func (c *treeCol) leafFor(rank, fanout int) *treeTierNode {
+	return c.tiers[0][rank/fanout]
+}
+
+// colLocked returns the collective for key, building it (and arming its
+// deadline timer) on first touch. Caller holds t.mu.
+func (t *Tree) colLocked(key opKey) *treeCol {
+	c, ok := t.cols[key]
+	if !ok {
+		c = t.newColLocked(key)
+		if t.deadline > 0 {
+			gen := c.gen
+			c.timer = time.AfterFunc(t.deadline, func() { t.expire(key, c, gen) })
+		}
+		t.cols[key] = c
+	}
+	return c
+}
+
+func (t *Tree) aggregate(ctx context.Context, clientID, round int, kind string, values []float64) ([]float64, error) {
+	t.mu.Lock()
+	if t.evicted[clientID] {
+		t.mu.Unlock()
+		return nil, &EvictedError{ClientID: clientID}
+	}
+	rank, inRoster := t.pos[clientID]
+	if !inRoster {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: client %d is outside the tree roster (stray contributions are a flat-server feature)", clientID)
+	}
+	key := opKey{round: round, kind: kind}
+	c := t.colLocked(key)
+	if c.submit[clientID] {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: client %d double-submitted %s collective of round %d", clientID, kind, round)
+	}
+	c.submit[clientID] = true
+	delete(c.pending, clientID)
+	contributing := values != nil && t.participants[clientID]
+	closed := c.finished
+	leaf := c.leafFor(rank, t.fanout)
+	t.mu.Unlock()
+
+	detachPos := -1
+	var detachLeaf *treeTierNode
+	if !closed {
+		// O(model) staging and opportunistic leaf folding, outside t.mu.
+		p, _ := leaf.fold.stage(clientID, values, contributing)
+		if contributing {
+			detachPos, detachLeaf = p, leaf
+		}
+		t.mu.Lock()
+		c.subs++
+		leaf.subs++
+		ready := t.nodeReadyLocked(leaf)
+		t.mu.Unlock()
+		if ready {
+			t.cascade(c, leaf)
+		}
+	}
+	return t.wait(ctx, c, detachLeaf, detachPos)
+}
+
+// nodeReadyLocked marks a node done when its last input resolved,
+// returning whether the caller should run its completion. Caller holds
+// t.mu.
+func (t *Tree) nodeReadyLocked(n *treeTierNode) bool {
+	if !n.done && n.subs >= n.need {
+		n.done = true
+		return true
+	}
+	return false
+}
+
+// cascade completes a finished node outside t.mu and forwards its partial
+// upward, continuing as long as completions ripple toward the root.
+func (t *Tree) cascade(c *treeCol, node *treeTierNode) {
+	for node != nil {
+		root := node.tier == len(c.tiers)-1
+		if root {
+			t.mu.Lock()
+			up, base := t.upstream, t.upstreamBase
+			t.mu.Unlock()
+			if up != nil {
+				// Subtree mode: the "root" is one aligned block of a larger
+				// roster. Forward the raw (sum, weight) partial upward and
+				// publish whatever global the upstream hands back.
+				sum, weight, err := node.fold.complete(false)
+				var global []float64
+				if err == nil {
+					global, err = up(c.key.round, c.key.kind, base, sum, weight)
+				}
+				t.finishRoot(c, node, global, err)
+				return
+			}
+			res, _, err := node.fold.complete(true)
+			t.finishRoot(c, node, res, err)
+			return
+		}
+		res, weight, err := node.fold.complete(false)
+		parent := c.tiers[node.tier+1][node.index/t.fanout]
+		childRank := node.index % t.fanout
+		forwarded := false
+		if err != nil {
+			node.failure = err
+			parent.fold.stageWeighted(childRank, nil, 0)
+		} else if res == nil || weight == 0 {
+			parent.fold.stageWeighted(childRank, nil, 0)
+		} else {
+			parent.fold.stageWeighted(childRank, res, weight)
+			forwarded = true
+		}
+
+		t.mu.Lock()
+		if node.tier == 0 {
+			t.leafFolds++
+		}
+		if forwarded {
+			t.partials++
+			node.contribed = true
+		} else {
+			// This input to the parent tier resolved empty.
+			t.tierEvictions[node.tier+1]++
+		}
+		parent.subs++
+		ready := t.nodeReadyLocked(parent)
+		t.mu.Unlock()
+		if !ready {
+			return
+		}
+		node = parent
+	}
+}
+
+// finishRoot publishes the collective result and wakes every waiter. A
+// failure recorded anywhere in the tree wins over the (partial) result;
+// the lowest tier, lowest index failure is chosen so the reported error
+// does not depend on completion timing.
+func (t *Tree) finishRoot(c *treeCol, root *treeTierNode, res []float64, err error) {
+	if err != nil {
+		root.failure = err
+	}
+	t.mu.Lock()
+	var failure error
+	for _, tier := range c.tiers {
+		for _, node := range tier {
+			if node.failure != nil {
+				failure = node.failure
+				break
+			}
+		}
+		if failure != nil {
+			break
+		}
+	}
+	if failure != nil {
+		if root.failure == failure && root.tier > 0 {
+			c.failure = fmt.Errorf("fl: tier %d aggregator: %w", root.tier, failure)
+		} else {
+			c.failure = failure
+		}
+	} else {
+		c.result = res
+	}
+	c.finished = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	t.mu.Unlock()
+	close(c.done)
+}
+
+// wait blocks until the collective completes or ctx cancels; an abandoned
+// wait detaches the caller's staged slice from its leaf first.
+func (t *Tree) wait(ctx context.Context, c *treeCol, leaf *treeTierNode, detach int) ([]float64, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		if leaf != nil && detach >= 0 {
+			leaf.fold.detach(detach)
+		}
+		return nil, ctx.Err()
+	}
+	if c.failure != nil {
+		return nil, c.failure
+	}
+	return c.result, nil
+}
+
+// expire closes a deadline-expired collective: one alive-probe extension,
+// then the missing clients are evicted from their leaves and every
+// affected tier completes with what it has (see Server.expire for the
+// generation guard).
+func (t *Tree) expire(key opKey, armed *treeCol, gen uint64) {
+	t.mu.Lock()
+	c := t.cols[key]
+	if c == nil || c != armed || c.gen != gen || c.finished || len(c.pending) == 0 {
+		t.mu.Unlock()
+		return
+	}
+	if !c.extended && t.aliveProbe != nil {
+		for id := range c.pending {
+			if t.aliveProbe(id) {
+				c.extended = true
+				c.timer.Reset(t.deadline)
+				t.mu.Unlock()
+				return
+			}
+		}
+	}
+	t.timeouts++
+	var ready []*treeTierNode
+	for id := range c.pending {
+		delete(c.pending, id)
+		t.evicted[id] = true
+		t.evictions++
+		t.tierEvictions[0]++
+		rank := t.pos[id]
+		leaf := c.leafFor(rank, t.fanout)
+		leaf.fold.skip(id)
+		leaf.subs++
+		if t.nodeReadyLocked(leaf) {
+			ready = append(ready, leaf)
+		}
+	}
+	t.mu.Unlock()
+	for _, leaf := range ready {
+		t.cascade(c, leaf)
+	}
+}

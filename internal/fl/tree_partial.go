@@ -1,0 +1,156 @@
+package fl
+
+import (
+	"context"
+	"fmt"
+)
+
+// Remote tiers. A Tree normally folds every tier in-process, but the
+// flrpc deployment splits the tree across machines: a leaf aggregator
+// (relay) folds its aligned block of the cohort roster locally and ships
+// ONE (sum, weight) partial to the coordinator, which injects it here in
+// place of the block's member submissions. Two pieces make that work:
+//
+//   - AggregatePartial, the receiving side: the partial resolves the
+//     whole leaf block at once — its members are marked submitted, the
+//     partial is staged into the leaf's parent at the leaf's child rank,
+//     and the caller blocks until the root publishes, exactly like a
+//     member submission would.
+//   - SetUpstream, the sending side: a tree covering one aligned block of
+//     a larger roster completes its root WITHOUT scaling and forwards the
+//     raw partial through the hook; the global the hook returns is what
+//     the local waiters receive.
+//
+// Because the relay's block is an aligned rank block and its local fold
+// is the same canonical pairwise order, the partial it ships is
+// bit-identical to the leaf fold the coordinator would have computed
+// itself — the distributed tree and the in-process tree agree to the
+// last bit (TestTreePartialBitIdentity).
+
+// UpstreamFunc forwards a subtree's completed root partial to the
+// enclosing tree and returns the published global. rankLo is the
+// subtree's first rank in the enclosing roster; sum is the raw canonical
+// sum over weight contributors (nil sum with zero weight when every
+// member was evicted). The hook runs on the completing submitter's
+// goroutine with no Tree lock held, so it may block on network I/O.
+type UpstreamFunc func(round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error)
+
+// SetUpstream switches the tree into subtree (relay) mode: the root
+// forwards its raw partial through fn instead of scaling a mean, and
+// publishes fn's return to every local waiter. rankLo is this subtree's
+// first rank within the enclosing roster (it must be leaf-aligned there).
+// Must be set before the first collective and not changed while
+// collectives are in flight.
+func (t *Tree) SetUpstream(rankLo int, fn UpstreamFunc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.upstream = fn
+	t.upstreamBase = rankLo
+}
+
+// AggregatePartial is AggregatePartialCtx without cancellation.
+func (t *Tree) AggregatePartial(round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	return t.AggregatePartialCtx(context.Background(), round, kind, rankLo, sum, weight)
+}
+
+// AggregatePartialCtx stages an already-folded partial for the aligned
+// leaf block starting at roster rank rankLo, resolving that block's
+// members in one message, and blocks until the collective's global is
+// published. weight is the contributor count folded into sum; weight 0
+// (nil sum) reports an empty block (every member evicted at the remote
+// leaf). sum is not retained past the call.
+//
+// A resubmission of a block that was already resolved by a remote
+// partial is idempotent (it waits and returns the published global, the
+// retry-after-reconnect contract of flrpc); a partial for a block with
+// direct member submissions, or one that expired, is an error.
+func (t *Tree) AggregatePartialCtx(ctx context.Context, round int, kind string, rankLo int, sum []float64, weight int) ([]float64, error) {
+	t.mu.Lock()
+	n := len(t.roster)
+	if n == 0 {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: partial submitted before SetRoster")
+	}
+	if rankLo < 0 || rankLo >= n || rankLo%t.fanout != 0 {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: partial rank %d is not an aligned leaf block of a %d-member roster (fanout %d)", rankLo, n, t.fanout)
+	}
+	key := opKey{round: round, kind: kind}
+	c := t.colLocked(key)
+	if len(c.tiers) < 2 {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: roster of %d fits a single tier at fanout %d; submit members directly", n, t.fanout)
+	}
+	leaf := c.leafFor(rankLo, t.fanout)
+	if leaf.done {
+		if leaf.remote {
+			// Idempotent resubmission after a transport retry: the first
+			// copy already resolved the block; hand back the same global.
+			t.mu.Unlock()
+			return t.wait(ctx, c, nil, -1)
+		}
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: leaf block at rank %d already resolved (expired or folded locally)", rankLo)
+	}
+	if leaf.subs > 0 {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: leaf block at rank %d has %d direct member submissions; a remote partial cannot replace a partially folded block", rankLo, leaf.subs)
+	}
+	if weight < 0 || weight > leaf.need {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: partial weight %d outside the block's %d members", weight, leaf.need)
+	}
+	if weight > 0 && len(sum) == 0 {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("fl: partial weight %d with empty sum", weight)
+	}
+	// The partial speaks for every member of the block: they are submitted
+	// (a later direct submission is a double-submit) and no longer pending
+	// (deadline expiry must not evict them).
+	hi := rankLo + t.fanout
+	if hi > n {
+		hi = n
+	}
+	for r := rankLo; r < hi; r++ {
+		id := t.roster[r]
+		c.submit[id] = true
+		if c.pending[id] {
+			delete(c.pending, id)
+			c.subs++
+		}
+	}
+	leaf.done = true
+	leaf.remote = true
+	parent := c.tiers[1][leaf.index/t.fanout]
+	childRank := leaf.index % t.fanout
+	if weight > 0 {
+		t.partials++
+		leaf.contribed = true
+	} else {
+		t.tierEvictions[1]++
+	}
+	t.mu.Unlock()
+
+	// Stage outside the lock, by reference — this handler blocks inside
+	// wait until the collective closes, exactly the Aggregate ownership
+	// contract, so the caller's buffer is recyclable on return. An
+	// abandoned wait detaches it from the parent fold first.
+	detach := -1
+	if weight > 0 {
+		detach = parent.fold.stageWeighted(childRank, sum, weight)
+	} else {
+		parent.fold.stageWeighted(childRank, nil, 0)
+	}
+	t.mu.Lock()
+	parent.subs++
+	ready := t.nodeReadyLocked(parent)
+	t.mu.Unlock()
+	if ready {
+		t.cascade(c, parent)
+	}
+	var detachNode *treeTierNode
+	if detach >= 0 {
+		detachNode = parent
+	}
+	return t.wait(ctx, c, detachNode, detach)
+}

@@ -32,6 +32,12 @@ type DialConfig struct {
 	// coordinator can tell a slow client from a dead one. Zero disables
 	// heartbeats.
 	Heartbeat time.Duration
+	// BlockSize, when positive, joins as a leaf-aggregator relay: the
+	// coordinator reserves a contiguous aligned block of that many ids
+	// and ClientID() is the block's base. Requires a tree-mode
+	// coordinator; collectives are then submitted with SubmitPartial
+	// rather than per-member Aggregate calls.
+	BlockSize int
 }
 
 func (c *DialConfig) fillDefaults() {
@@ -164,10 +170,11 @@ func (c *Client) dialAndJoin(joined bool, id int) (*rpc.Client, JoinReply, error
 		return nil, reply, fmt.Errorf("flrpc: dial %s: %w", c.addr, err)
 	}
 	rc := rpc.NewClient(conn)
-	args := JoinArgs{Name: c.cfg.Name}
+	args := JoinArgs{Name: c.cfg.Name, BlockSize: c.cfg.BlockSize}
 	if joined {
 		args.Rejoin = true
 		args.ClientID = id
+		args.BlockSize = 0 // rejoin re-admits the already-reserved block base
 		c.counters.Inc("reconnects")
 	}
 	if err := rc.Call(ServiceName+".Join", args, &reply); err != nil {
@@ -317,13 +324,57 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 		args.Payload = *wireBuf
 		c.counters.Add("agg_tx_bytes", int64(len(args.Payload)))
 	}
+	reply, err := c.doAgg(ctx, ServiceName+".Aggregate", fmt.Sprintf("aggregate %s round %d", kind, round), args)
+	if err != nil {
+		return nil, err
+	}
+	// contribution() decodes the vector payload; reply.Nil is the source
+	// of truth for "no contributors". The decode allocates a fresh slice
+	// on purpose: the result is handed to strategy code that retains it
+	// across the round.
+	out, derr := reply.contribution(c.ModelSize())
+	if derr != nil {
+		return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, derr)
+	}
+	return out, nil
+}
+
+// SubmitPartial ships an already-folded block partial to a tree-mode
+// coordinator and returns the round's published global mean — the
+// upstream half of a leaf-aggregator relay, with the same retry +
+// backoff + reconnect treatment as Aggregate. The coordinator treats a
+// resubmission after a reconnect idempotently, so a retried partial
+// whose first copy landed is safe.
+func (c *Client) SubmitPartial(ctx context.Context, round int, kind string, p sparse.Partial) ([]float64, error) {
+	wireBuf := sparse.GetWireBuf(sparse.PartialPayloadSize(len(p.Sum)))
+	defer sparse.PutWireBuf(wireBuf)
+	*wireBuf = sparse.AppendPartialPayload(*wireBuf, p)
+	args := PartialArgs{ClientID: c.ClientID(), Round: round, Kind: kind, Payload: *wireBuf}
+	c.counters.Add("agg_tx_bytes", int64(len(args.Payload)))
+	reply, err := c.doAgg(ctx, ServiceName+".SubmitPartial", fmt.Sprintf("partial %s round %d", kind, round), args)
+	if err != nil {
+		return nil, err
+	}
+	out, derr := reply.contribution(c.ModelSize())
+	if derr != nil {
+		return nil, fmt.Errorf("flrpc: partial %s round %d: %w", kind, round, derr)
+	}
+	return out, nil
+}
+
+// doAgg issues one blocking collective RPC with retry, exponential
+// backoff + jitter, and transparent reconnect-and-rejoin on transport
+// failures. Application-level errors (eviction, unknown kind, length
+// mismatch) are terminal: retrying them cannot succeed. desc labels
+// errors (e.g. "aggregate model round 3").
+func (c *Client) doAgg(ctx context.Context, method, desc string, args any) (AggReply, error) {
 	backoff := c.cfg.RetryBase
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.counters.Inc("retries")
 			if err := sleepCtx(ctx, jitter(backoff)); err != nil {
-				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, err)
+				return AggReply{}, fmt.Errorf("flrpc: %s: %w", desc, err)
 			}
 			backoff *= 2
 			if backoff > c.cfg.RetryMax {
@@ -336,21 +387,13 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 			continue
 		}
 		var reply AggReply
-		err = c.do(ctx, rc, ServiceName+".Aggregate", args, &reply)
+		err = c.do(ctx, rc, method, args, &reply)
 		if err == nil {
-			// contribution() decodes the vector payload; reply.Nil is the
-			// source of truth for "no contributors". The decode allocates a
-			// fresh slice on purpose: the result is handed to strategy code
-			// that retains it across the round.
 			c.counters.Add("agg_rx_bytes", int64(len(reply.Payload)))
-			out, derr := reply.contribution(c.ModelSize())
-			if derr != nil {
-				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, derr)
-			}
-			return out, nil
+			return reply, nil
 		}
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, ctx.Err())
+			return AggReply{}, fmt.Errorf("flrpc: %s: %w", desc, ctx.Err())
 		}
 		if se, ok := err.(rpc.ServerError); ok {
 			// The designated recovery shim: net/rpc flattens server-side
@@ -358,9 +401,9 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 			// recovered here, by matching fl.EvictedError's wire marker.
 			//lint:allow errwrap -- net/rpc delivers errors as flattened strings
 			if strings.Contains(se.Error(), evictedMarker) {
-				return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w: %w", kind, round, se, ErrEvicted)
+				return AggReply{}, fmt.Errorf("flrpc: %s: %w: %w", desc, se, ErrEvicted)
 			}
-			return nil, fmt.Errorf("flrpc: aggregate %s round %d: %w", kind, round, se)
+			return AggReply{}, fmt.Errorf("flrpc: %s: %w", desc, se)
 		}
 		// Transport failure: drop the connection and retry; the rejoin on
 		// reconnect plus the coordinator's idempotent resubmission makes
@@ -368,7 +411,7 @@ func (c *Client) call(ctx context.Context, kind string, clientID, round int, val
 		lastErr = err
 		c.invalidate(rc)
 	}
-	return nil, fmt.Errorf("flrpc: aggregate %s round %d after %d retries: %w", kind, round, c.cfg.MaxRetries, lastErr)
+	return AggReply{}, fmt.Errorf("flrpc: %s after %d retries: %w", desc, c.cfg.MaxRetries, lastErr)
 }
 
 // jitter spreads a backoff interval over [d/2, d) so a fleet knocked over

@@ -67,6 +67,14 @@ type JoinArgs struct {
 	// next round's barriers.
 	Rejoin   bool
 	ClientID int
+	// BlockSize, when positive, reserves a contiguous aligned block of
+	// ids for a leaf-aggregator relay instead of a single client id; the
+	// reply's ClientID is the block's base id (== its roster rank, ids
+	// being assigned densely from zero). Only valid against a tree-mode
+	// coordinator (Config.Fanout), and the base must land on a fanout
+	// boundary — join relays before (or instead of) direct clients so the
+	// blocks stay aligned.
+	BlockSize int
 }
 
 // JoinReply assigns the client its id and describes the session.
@@ -136,6 +144,22 @@ func (r AggReply) contribution(maxParams int) ([]float64, error) {
 	return sparse.DecodeVectorPayloadInto(nil, r.Payload, maxParams)
 }
 
+// PartialArgs is one tier partial-aggregate submission: a leaf relay's
+// already-folded block, replacing its members' individual uploads.
+type PartialArgs struct {
+	// ClientID is the relay's block base id (assigned by the block Join).
+	ClientID int
+	Round    int
+	// Kind selects the collective: "model" or "error".
+	Kind string
+	// Payload is the partial encoded with the partial-aggregate codec
+	// (sparse.AppendPartialPayload): raw float64 sum + contributor weight
+	// + accounted traffic. Raw float64 because a partial is an
+	// intermediate of the canonical fold — quantizing it would break the
+	// tree-vs-flat bit-identity contract.
+	Payload []byte
+}
+
 // Config assembles a fault-tolerant coordinator.
 type Config struct {
 	// NumClients is the session size.
@@ -161,6 +185,15 @@ type Config struct {
 	// seed-determinism contract applies to the netem-driven emulation,
 	// not this transport.
 	Async fl.AsyncConfig
+	// Fanout, when >= 2, switches the coordinator's collective to the
+	// hierarchical fl.Tree: leaf-aggregator relays reserve aligned id
+	// blocks (JoinArgs.BlockSize) and submit one partial per collective
+	// (SubmitPartial), so root work is O(fanout) rather than
+	// O(participants). Direct clients still work (mixed trees are fine)
+	// but lose the flat server's idempotent-resubmission affordance —
+	// only relay partials are retried idempotently. Incompatible with
+	// Async. Zero keeps the flat fl.Server.
+	Fanout int
 }
 
 // aggKey identifies one collective for the reply-encoding cache.
@@ -192,7 +225,14 @@ type Coordinator struct {
 	lastSeen map[int]time.Time
 
 	counters *trace.Counters
-	srv      *fl.Server
+	// Exactly one of srv/tree is non-nil: the flat collective, or the
+	// hierarchical one (Config.Fanout).
+	srv  *fl.Server
+	tree *fl.Tree
+	// blockOf maps every id of a relay-reserved block to the block's base
+	// id, for heartbeat attribution (a relay's Ping keeps its whole block
+	// alive). Guarded by mu.
+	blockOf map[int]int
 }
 
 // NewCoordinator constructs a coordinator expecting numClients clients
@@ -218,8 +258,20 @@ func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
 		replyEnc:   map[aggKey][]byte{},
 		lastSeen:   map[int]time.Time{},
 		counters:   trace.NewCounters(),
-		srv:        fl.NewServer(cfg.NumClients),
+		blockOf:    map[int]int{},
 	}
+	if cfg.Fanout >= 2 {
+		if cfg.Async.Enabled() {
+			return nil, fmt.Errorf("flrpc: tree mode (Fanout %d) is synchronous-only; async is a flat-server feature", cfg.Fanout)
+		}
+		c.tree = fl.NewTree(cfg.Fanout)
+		if cfg.Deadline > 0 {
+			c.tree.SetDeadline(cfg.Deadline)
+			c.tree.SetAliveProbe(c.alive)
+		}
+		return c, nil
+	}
+	c.srv = fl.NewServer(cfg.NumClients)
 	// Resubmission after a client reconnect must be benign, not a
 	// double-submit error.
 	c.srv.SetIdempotent(true)
@@ -237,16 +289,44 @@ func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
 
 // AsyncVersion returns the number of async global applications (zero in
 // synchronous mode).
-func (c *Coordinator) AsyncVersion() int { return c.srv.AsyncVersion() }
+func (c *Coordinator) AsyncVersion() int {
+	if c.srv == nil {
+		return 0
+	}
+	return c.srv.AsyncVersion()
+}
 
 // StaleDropCount returns contributions dropped for exceeding MaxStaleness.
-func (c *Coordinator) StaleDropCount() int { return c.srv.StaleDropCount() }
+func (c *Coordinator) StaleDropCount() int {
+	if c.srv == nil {
+		return 0
+	}
+	return c.srv.StaleDropCount()
+}
+
+// TierStats returns the tree collective's per-tier telemetry (zero value
+// in flat mode).
+func (c *Coordinator) TierStats() fl.TierStats {
+	if c.tree == nil {
+		return fl.TierStats{}
+	}
+	return c.tree.Stats()
+}
 
 // alive reports whether a client was heard from within the heartbeat
 // grace window; consulted by the server when a barrier deadline expires.
+// A relay's heartbeat speaks for every member of its block.
 func (c *Coordinator) alive(clientID int) bool {
+	c.mu.Lock()
+	base, blocked := c.blockOf[clientID]
+	c.mu.Unlock()
 	c.hbMu.Lock()
 	last, ok := c.lastSeen[clientID]
+	if blocked {
+		if bl, bok := c.lastSeen[base]; bok && (!ok || bl.After(last)) {
+			last, ok = bl, true
+		}
+	}
 	c.hbMu.Unlock()
 	return ok && time.Since(last) <= c.cfg.HeartbeatGrace
 }
@@ -264,13 +344,32 @@ func (c *Coordinator) heard(clientID int) {
 func (c *Coordinator) Counters() *trace.Counters { return c.counters }
 
 // Evicted returns the ids evicted so far, ascending.
-func (c *Coordinator) Evicted() []int { return c.srv.Evicted() }
+func (c *Coordinator) Evicted() []int {
+	if c.tree != nil {
+		return c.tree.Evicted()
+	}
+	return c.srv.Evicted()
+}
 
 // EvictionCount returns the cumulative number of deadline evictions.
-func (c *Coordinator) EvictionCount() int { return c.srv.EvictionCount() }
+func (c *Coordinator) EvictionCount() int {
+	if c.tree != nil {
+		return c.tree.EvictionCount()
+	}
+	return c.srv.EvictionCount()
+}
+
+// readmit clears evicted status on whichever collective is active.
+func (c *Coordinator) readmit(clientID int) {
+	if c.tree != nil {
+		c.tree.Readmit(clientID)
+		return
+	}
+	c.srv.Readmit(clientID)
+}
 
 // Join implements the session handshake, including rejoin-by-id after a
-// client reconnects.
+// client reconnects and block reservation for leaf-aggregator relays.
 func (c *Coordinator) Join(args JoinArgs, reply *JoinReply) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -278,18 +377,37 @@ func (c *Coordinator) Join(args JoinArgs, reply *JoinReply) error {
 		if args.ClientID < 0 || args.ClientID >= c.nextID {
 			return fmt.Errorf("flrpc: rejoin of unknown client %d", args.ClientID)
 		}
-		c.srv.Readmit(args.ClientID)
+		c.readmit(args.ClientID)
 		c.counters.Inc("rejoins")
 		c.heard(args.ClientID)
 		*reply = JoinReply{ClientID: args.ClientID, NumClients: c.numClients, ModelSize: c.modelSize}
 		return nil
 	}
-	if c.nextID >= c.numClients {
+	span := 1
+	if args.BlockSize > 0 {
+		if c.tree == nil {
+			return fmt.Errorf("flrpc: block join against a flat coordinator (no Fanout configured)")
+		}
+		fanout := c.tree.Fanout()
+		if c.nextID%fanout != 0 {
+			return fmt.Errorf("flrpc: block join at id %d is not aligned to fanout %d (join relays before direct clients)", c.nextID, fanout)
+		}
+		if args.BlockSize > fanout {
+			return fmt.Errorf("flrpc: block of %d exceeds fanout %d", args.BlockSize, fanout)
+		}
+		span = args.BlockSize
+	}
+	if c.nextID+span > c.numClients {
 		return fmt.Errorf("flrpc: session full (%d clients)", c.numClients)
 	}
 	id := c.nextID
-	c.nextID++
-	c.allIDs = append(c.allIDs, id)
+	c.nextID += span
+	for m := id; m < id+span; m++ {
+		c.allIDs = append(c.allIDs, m)
+		if args.BlockSize > 0 {
+			c.blockOf[m] = id
+		}
+	}
 	c.heard(id)
 	*reply = JoinReply{ClientID: id, NumClients: c.numClients, ModelSize: c.modelSize}
 	return nil
@@ -309,6 +427,42 @@ func (c *Coordinator) Ping(args PingArgs, reply *PingReply) error {
 	return nil
 }
 
+// beginRoundLocked lazily opens a round's collectives on the round's
+// first submission. All connected clients participate in the
+// real-network mode; stragglers are governed by actual wall-clock, not
+// emulation. The roster and quorum are the ids that actually joined — a
+// session started below its -clients capacity must not barrier on
+// phantom ids that never connected. Caller holds c.mu.
+func (c *Coordinator) beginRoundLocked(round int) {
+	if c.begun[round] || c.cfg.Async.Enabled() {
+		return
+	}
+	ids := append([]int(nil), c.allIDs...)
+	if c.tree != nil {
+		c.tree.SetRoster(ids)
+		c.tree.BeginRound(round, ids)
+	} else {
+		c.srv.SetRoster(ids)
+		c.srv.BeginRound(round, ids)
+	}
+	c.begun[round] = true
+	delete(c.begun, round-2) // bounded bookkeeping
+	for k := range c.replyEnc {
+		if k.round <= round-2 {
+			delete(c.replyEnc, k)
+		}
+	}
+}
+
+// collective returns the active aggregation service (flat or tree); both
+// satisfy the ctx-aware dispatch contract.
+func (c *Coordinator) collective() sparse.Aggregator {
+	if c.tree != nil {
+		return c.tree
+	}
+	return c.srv
+}
+
 // Aggregate implements the blocking collective call.
 func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 	c.mu.Lock()
@@ -316,23 +470,7 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 		c.mu.Unlock()
 		return fmt.Errorf("flrpc: unknown client %d", args.ClientID)
 	}
-	if !c.begun[args.Round] && !c.cfg.Async.Enabled() {
-		// All connected clients participate in the real-network mode;
-		// stragglers are governed by actual wall-clock, not emulation. The
-		// roster and quorum are the ids that actually joined — a session
-		// started below its -clients capacity must not barrier on phantom
-		// ids that never connected.
-		ids := append([]int(nil), c.allIDs...)
-		c.srv.SetRoster(ids)
-		c.srv.BeginRound(args.Round, ids)
-		c.begun[args.Round] = true
-		delete(c.begun, args.Round-2) // bounded bookkeeping
-		for k := range c.replyEnc {
-			if k.round <= args.Round-2 {
-				delete(c.replyEnc, k)
-			}
-		}
-	}
+	c.beginRoundLocked(args.Round)
 	c.mu.Unlock()
 	c.heard(args.ClientID)
 	c.counters.Add("agg_rx_bytes", int64(len(args.Payload)))
@@ -362,18 +500,25 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 	// aggregation in the codebase.
 	switch args.Kind {
 	case "model":
-		res, err = sparse.AggModel(context.Background(), c.srv, args.ClientID, args.Round, values)
+		res, err = sparse.AggModel(context.Background(), c.collective(), args.ClientID, args.Round, values)
 	case "error":
-		res, err = sparse.AggError(context.Background(), c.srv, args.ClientID, args.Round, values)
+		res, err = sparse.AggError(context.Background(), c.collective(), args.ClientID, args.Round, values)
 	default:
 		return fmt.Errorf("flrpc: unknown collective kind %q", args.Kind)
 	}
 	if err != nil {
 		return err
 	}
+	c.encodeReply(args.Round, args.Kind, res, reply)
+	return nil
+}
+
+// encodeReply fills reply with the collective result, serving cached
+// bytes when the result is round-stable.
+func (c *Coordinator) encodeReply(round int, kind string, res []float64, reply *AggReply) {
 	if res == nil {
 		reply.Nil = true
-		return nil
+		return
 	}
 	if c.cfg.Async.Enabled() {
 		// No reply cache in async mode: the global evolves with every K-th
@@ -381,13 +526,13 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 		// result the way a closed barrier's mean does.
 		reply.Payload = sparse.EncodeVectorPayload(res)
 		c.counters.Add("agg_tx_bytes", int64(len(reply.Payload)))
-		return nil
+		return
 	}
 	// Every waiter of the collective receives the same mean; encode it once
 	// and serve the cached bytes. The double-checked pattern keeps the
 	// O(model) encode outside the coordinator lock — a racing duplicate
 	// encode is possible but bounded and byte-identical.
-	k := aggKey{round: args.Round, kind: args.Kind}
+	k := aggKey{round: round, kind: kind}
 	c.mu.Lock()
 	payload, ok := c.replyEnc[k]
 	c.mu.Unlock()
@@ -403,6 +548,52 @@ func (c *Coordinator) Aggregate(args AggArgs, reply *AggReply) error {
 	}
 	reply.Payload = payload
 	c.counters.Add("agg_tx_bytes", int64(len(payload)))
+}
+
+// SubmitPartial implements the tier collective call: a leaf relay ships
+// its block's already-folded (sum, weight) partial in place of the
+// block's member submissions, and blocks until the round's global mean
+// is published — which it then serves to its own clients. Tree mode
+// only. The decode is allocation-bounded by the session's model size,
+// and a resubmission after a relay reconnect is idempotent.
+func (c *Coordinator) SubmitPartial(args PartialArgs, reply *AggReply) error {
+	c.mu.Lock()
+	if c.tree == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("flrpc: partial submitted to a flat coordinator (no Fanout configured)")
+	}
+	base, ok := c.blockOf[args.ClientID]
+	if !ok || base != args.ClientID {
+		c.mu.Unlock()
+		return fmt.Errorf("flrpc: partial from %d, which is not a block base id", args.ClientID)
+	}
+	c.beginRoundLocked(args.Round)
+	c.mu.Unlock()
+	c.heard(args.ClientID)
+	c.counters.Add("agg_rx_bytes", int64(len(args.Payload)))
+	c.counters.Inc("partials_rx")
+
+	// Decode into a pooled vector; the tree stages the sum by reference
+	// and this handler blocks until the collective closes, so the buffer
+	// is recyclable on return (the Aggregate ownership contract).
+	vecBuf := sparse.GetVec(c.modelSize)
+	defer sparse.PutVec(vecBuf)
+	p, err := sparse.DecodePartialPayloadInto(*vecBuf, args.Payload, c.modelSize)
+	if err != nil {
+		return fmt.Errorf("flrpc: relay %d round %d: %w", args.ClientID, args.Round, err)
+	}
+	if p.RankLo != args.ClientID {
+		return fmt.Errorf("flrpc: relay %d shipped a partial for rank %d; blocks are keyed by base id", args.ClientID, p.RankLo)
+	}
+	if args.Kind != "model" && args.Kind != "error" {
+		return fmt.Errorf("flrpc: unknown collective kind %q", args.Kind)
+	}
+	c.counters.Add("relay_traffic_bytes", p.Traffic)
+	res, err := c.tree.AggregatePartialCtx(context.Background(), args.Round, args.Kind, p.RankLo, p.Sum, p.Weight)
+	if err != nil {
+		return err
+	}
+	c.encodeReply(args.Round, args.Kind, res, reply)
 	return nil
 }
 
