@@ -7,7 +7,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: tier1 vet lint race fuzz verify bench bench-agg bench-grid \
-	bench-tree tier1-f32 race-f32 verify-f32
+	bench-tree bench-codec tier1-f32 race-f32 verify-f32
 
 tier1:
 	$(GO) build ./...
@@ -59,6 +59,10 @@ fuzz:
 	$(GO) test -fuzz '^FuzzIndexPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 	$(GO) test -fuzz '^FuzzVectorPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
 	$(GO) test -fuzz '^FuzzPartialPayload$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/
+	$(GO) test -fuzz '^FuzzQuantStage$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/codec/
+	$(GO) test -fuzz '^FuzzLowRankStage$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/codec/
+	$(GO) test -fuzz '^FuzzEntropyStage$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/codec/
+	$(GO) test -fuzz '^FuzzChainRoundTrip$$' -fuzztime=$(FUZZTIME) -run '^$$' ./internal/sparse/codec/
 
 verify: tier1 vet lint race fuzz
 
@@ -80,6 +84,12 @@ bench-agg:
 # Take the median of the 3 counts.
 bench-tree:
 	$(GO) test ./internal/fl/ -run xxx -bench '^BenchmarkTreeRootFold' -benchmem -count 3
+
+# Compression-chain stage benchmarks (see BENCH_codec.json for the
+# tracked medians): per-stage encode ns/op, B/op, and encoded bytes at
+# densities 0.1%, 1%, 10%, and dense. Take the median of the 3 counts.
+bench-codec:
+	$(GO) test ./internal/sparse/codec/ -run xxx -bench '^BenchmarkChain' -benchmem -count 3
 
 # End-to-end harness benchmark: the Table I grid, sequential-uncached vs
 # parallel-cached (the grid scheduler of internal/exp), medians over

@@ -56,6 +56,7 @@ func main() {
 		population = flag.Int("population", 0, "registered device count for the popscale experiment (e.g. 100000)")
 		cohort     = flag.Int("cohort", 0, "per-round sampled cohort size in population mode (sets the slot count)")
 		fanouts    = flag.String("fanout", "8,32", "comma-separated tree fanouts the popscale experiment compares against the flat fold")
+		compress   = flag.String("compress", "", "wire compression chain spec applied to every run, e.g. topk,q4,rans (the compose experiment sweeps its own cells)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,12 @@ func main() {
 	}
 	if *rounds > 0 {
 		cfg.Rounds = *rounds
+	} else if *expName == "compose" {
+		// Quantized compose cells converge slower (error feedback carries
+		// the rounding loss forward, it doesn't erase it); give every cell
+		// time to reach the converged plateau so the table's accuracy
+		// column reads the chains' asymptotic cost.
+		cfg.Rounds = 96
 	}
 	if *clients > 0 {
 		cfg.Clients = *clients
@@ -86,6 +93,7 @@ func main() {
 		fatal(err)
 	}
 	cfg.DType = dt
+	cfg.Compress = *compress
 	cfg.Verbose = os.Stderr
 	cfg.Parallel = *parallel
 	if *seq {
@@ -303,6 +311,23 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 		if err := res.Table().Render(os.Stdout); err != nil {
 			return err
 		}
+	case "compose":
+		// Composable-compression grid: FedSU alone and under chained
+		// sparsify→quantize→entropy wire paths, plus a QSGD×entropy
+		// reference. Byte columns are measured wire bytes, not analytic.
+		// The default horizon (set in main) is long enough for every cell
+		// to reach the converged plateau, so the accuracy column isolates
+		// the chains' asymptotic cost, not a mid-training snapshot.
+		w := exp.CNNWorkload()
+		res, err := exp.RunComposition(ctx, cfg, w, exp.ComposeCells())
+		if err != nil {
+			return err
+		}
+		if err := res.Table().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return res.StageTable().Render(os.Stdout)
 	case "table2":
 		// Per-round compute baselines from the netem calibration.
 		base := map[string]float64{}
@@ -315,7 +340,7 @@ func runExperiment(ctx context.Context, cfg exp.Config, id, outDir string, light
 		}
 		res.Report(os.Stdout)
 	default:
-		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, async, popscale, all)")
+		return fmt.Errorf("unknown experiment (want fig1..fig10, table1, table2, async, popscale, compose, all)")
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"fedsu/internal/fl"
 	"fedsu/internal/opt"
 	"fedsu/internal/sparse"
+	"fedsu/internal/sparse/codec"
 	"fedsu/internal/tensor"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		retries   = flag.Int("retries", 4, "collective-call retries on transport failure (-1 disables)")
 		dtype     = flag.String("dtype", "float64", "compute precision: float64 or float32 (must match the fleet)")
 		heartbeat = flag.Duration("heartbeat", time.Second, "heartbeat interval so the coordinator can tell slow from dead (0 disables)")
+		compress  = flag.String("compress", "", "wire compression chain spec for uploads, e.g. topk,q4,rans (must match the server's -compress; empty = default codec)")
 	)
 	flag.Parse()
 
@@ -60,10 +62,16 @@ func main() {
 		fatal(err)
 	}
 
+	if dt == tensor.Float32 && *compress != "" {
+		fatal(fmt.Errorf("-compress is unsupported with -dtype float32: chain wire images are not float32-exact"))
+	}
+
 	conn, err := fedsu.DialCoordinatorWith(*addr, fedsu.ClientConfig{
-		Name:       *name,
-		MaxRetries: *retries,
-		Heartbeat:  *heartbeat,
+		Name:         *name,
+		MaxRetries:   *retries,
+		Heartbeat:    *heartbeat,
+		Compress:     *compress,
+		CompressSeed: *seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -96,6 +104,19 @@ func main() {
 		fatal(err)
 	}
 	syncer := factory(id, model.Size(), conn)
+	if *compress != "" {
+		// The transport does the actual encode/decode; the local strategy
+		// only needs the chain for byte accounting, so the printed
+		// sparsification ratio is rebased on the negotiated chain's dense
+		// cost rather than the legacy f32 codec's.
+		chain, err := codec.Parse(*compress, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if !chain.IsDefault() {
+			sparse.SetSyncerWire(syncer, sparse.Wire{Chain: chain})
+		}
+	}
 	optimizer := opt.NewSGD(w.LR, opt.WithWeightDecay(0.001))
 	client := fl.NewClient(id, model, optimizer, shard, syncer, *seed+int64(id)*7919)
 

@@ -42,6 +42,7 @@ func main() {
 		staleW    = flag.Float64("staleness-weight", 0.5, "async: per-version contribution weight decay in (0, 1]")
 		fanout    = flag.Int("fanout", 0, "hierarchical aggregation: >= 2 runs the tree collective (relays join aligned id blocks, root folds partials; bit-identical to flat)")
 		upstream  = flag.String("upstream", "", "run as a leaf-aggregator relay of this root coordinator instead of a root (serves -clients members, forwards one partial per round)")
+		compress  = flag.String("compress", "", "wire compression chain spec for replies, e.g. topk,q4,rans (must match the clients' -compress; empty = default codec)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,8 @@ func main() {
 		Deadline:       *deadline,
 		HeartbeatGrace: *hbGrace,
 		Fanout:         *fanout,
+		Compress:       *compress,
+		CompressSeed:   *seed,
 	}
 	if *async {
 		k := *asyncK
@@ -87,6 +90,9 @@ func main() {
 	}
 	if cfg.Fanout >= 2 {
 		mode += fmt.Sprintf(", tree fanout %d", cfg.Fanout)
+	}
+	if *compress != "" {
+		mode += ", compress " + *compress
 	}
 	fmt.Printf("fedsu-server: coordinating %d clients on %s (%s, %d params, deadline %v, %s)\n",
 		*clients, svc.Addr(), *workload, size, *deadline, mode)

@@ -46,6 +46,7 @@ func main() {
 		population = flag.Int("population", 0, "registered device count; > 0 samples a -cohort-sized cohort per round instead of a fixed fleet")
 		cohortSize = flag.Int("cohort", 0, "per-round cohort size in population mode (default: -clients)")
 		fanout     = flag.Int("fanout", 0, "hierarchical aggregation-tree fanout in population mode (0 = flat fold; >= 2 = tree, bit-identical global)")
+		compress   = flag.String("compress", "", "wire compression chain spec, e.g. topk,q4,rans (stages: topk, q2..q8, lowrank[N], rans; empty = default codec)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 		EvalEvery: *evalEvery, Seed: *seed, FedSU: opts,
 		ProxMu: *proxMu, DType: *dtype,
 		Async: acfg, EventThreshold: *eventThr,
+		Compress:   *compress,
 		Population: *population, Fanout: *fanout,
 	})
 	if err != nil {

@@ -176,6 +176,13 @@ type SimulationConfig struct {
 	// memory bandwidth and a lossless wire). Aliases "f64"/"f32" are
 	// accepted.
 	DType string
+	// Compress selects the wire compression chain for collective payloads
+	// as a codec chain spec (e.g. "topk,q4,rans"): chained sparsify →
+	// quantize → entropy-code stages, with traffic charged at the chain's
+	// measured sizes. Empty keeps the default wire, byte-identical to every
+	// pre-chain run. Requires float64 compute (the chain's wire images are
+	// not float32-exact).
+	Compress string
 	// Population enables population-scale cohort rounds: Population
 	// registered devices, with a Clients-sized cohort sampled each round
 	// (deterministic in (Seed, round)) and timed by the population-scale
@@ -251,6 +258,7 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 		DType:          dt,
 		Async:          cfg.Async,
 		EventThreshold: cfg.EventThreshold,
+		Compress:       cfg.Compress,
 		Population:     cfg.Population,
 		Fanout:         cfg.Fanout,
 	}

@@ -5,6 +5,8 @@
 //	tensor.GetScratch / tensor.PutScratch   (scratch tensors, arena.go)
 //	sparse.GetWireBuf / sparse.PutWireBuf   (pooled wire buffers, pool.go)
 //	sparse.GetVec     / sparse.PutVec       (pooled vectors, pool.go)
+//	codec.GetBuf      / codec.PutBuf        (chain stage buffers, codec/pool.go)
+//	codec.GetVals     / codec.PutVals       (chain value scratch, codec/pool.go)
 //
 // The pools recycle backing stores through sync.Pool; a Get without a Put
 // does not crash anything — it silently demotes the pool to plain
@@ -59,6 +61,8 @@ var pairs = []pairSpec{
 	{pkg: "fedsu/internal/tensor", get: "GetScratch", put: "PutScratch", noun: "scratch tensor"},
 	{pkg: "fedsu/internal/sparse", get: "GetWireBuf", put: "PutWireBuf", noun: "pooled wire buffer"},
 	{pkg: "fedsu/internal/sparse", get: "GetVec", put: "PutVec", noun: "pooled vector"},
+	{pkg: "fedsu/internal/sparse/codec", get: "GetBuf", put: "PutBuf", noun: "pooled codec buffer"},
+	{pkg: "fedsu/internal/sparse/codec", get: "GetVals", put: "PutVals", noun: "pooled codec value slice"},
 }
 
 func run(pass *analysis.Pass) error {

@@ -168,6 +168,7 @@ type Manager struct {
 	size int
 	agg  sparse.Aggregator
 	opts Options
+	wire sparse.Wire
 
 	// Global-trajectory diagnosis state (identical across clients).
 	prevGlobal []float64 // x_{k-1} after the previous sync
@@ -187,6 +188,13 @@ type Manager struct {
 	noCheckLeft   []int32   // rounds until the next error check
 	accumErr      []float64 // Σ e_r since the last check (local)
 	specRounds    []int32   // rounds spent in the current speculative phase
+
+	// wireErr carries the lossy chain's per-parameter residual (sent minus
+	// wire image) into the next round's submission — error feedback in the
+	// EF-SGD sense, so components below the quantization step accumulate
+	// until they cross it instead of being rounded away forever. Allocated
+	// lazily on the first delta-domain sync; nil on the default wire.
+	wireErr []float64
 
 	round   int
 	started bool
@@ -271,6 +279,12 @@ func Factory(opts Options) sparse.Factory {
 
 // Name implements sparse.Syncer.
 func (m *Manager) Name() string { return m.opts.Variant.String() }
+
+// SetWire implements sparse.WireSetter: traffic is charged at the
+// negotiated chain's measured message sizes instead of the default
+// codec's. The speculative state machine itself is untouched — FedSU's
+// masked sends compose with any chain.
+func (m *Manager) SetWire(w sparse.Wire) { m.wire = w }
 
 // PredictableMask returns a copy of the current predictability mask.
 func (m *Manager) PredictableMask() []bool {
@@ -363,12 +377,38 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 		}
 	}
 
-	// Collective 1: aggregate the regular parameters' values.
+	// Collective 1: aggregate the regular parameters' values. Under a
+	// lossy chain the collective runs in the delta domain: clients ship
+	// local − prevGlobal and add the reference back after aggregation.
+	// prevGlobal is identical on every client (it is the post-sync
+	// global), so the averaged delta plus the reference equals the
+	// averaged values — but the chain's quantization grids then span the
+	// per-round update range instead of the absolute weight range, which
+	// is what keeps a 4-bit cell trainable. The default wire stays in the
+	// value domain, bit-identical to every pre-chain run.
+	delta := m.wire.Enabled()
+	if delta && m.wireErr == nil {
+		m.wireErr = make([]float64, m.size)
+	}
 	var send []float64
 	if contributor {
 		send = m.scratchSend[:len(regular)]
 		for j, i := range regular {
-			send[j] = local[i]
+			if delta {
+				send[j] = local[i] - m.prevGlobal[i] + m.wireErr[i]
+			} else {
+				send[j] = local[i]
+			}
+		}
+	}
+	if delta && send != nil {
+		// Error feedback: probe the chain's wire image of this submission
+		// and carry the loss into the next round. The probe is the same
+		// deterministic encode→decode the transport performs, so both ends
+		// of a TCP session and the in-process wrapper agree on it exactly.
+		img := m.wire.Image(send)
+		for j, i := range regular {
+			m.wireErr[i] = send[j] - img[j]
 		}
 	}
 	aggModel, err := sparse.AggModel(ctx, m.agg, m.id, round, send)
@@ -381,12 +421,16 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 
 	out := m.scratchOut
 
-	// Regular parameters take the aggregated global value.
+	// Regular parameters take the aggregated global value (reference plus
+	// aggregated delta under a lossy chain).
 	for j, i := range regular {
-		if aggModel != nil {
-			out[i] = m.q(aggModel[j])
-		} else {
+		switch {
+		case aggModel == nil:
 			out[i] = m.q(local[i])
+		case delta:
+			out[i] = m.q(m.prevGlobal[i] + aggModel[j])
+		default:
+			out[i] = m.q(aggModel[j])
 		}
 	}
 
@@ -428,8 +472,8 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 		if aggErr != nil && len(aggErr) != len(checking) {
 			return nil, sparse.Traffic{}, fmt.Errorf("fedsu: error aggregate returned %d values for %d checking params", len(aggErr), len(checking))
 		}
-		errUpBytes = sparse.MessageBytes(errSend)
-		errDownBytes = sparse.MessageBytes(aggErr)
+		errUpBytes = m.wire.Bytes(errSend)
+		errDownBytes = m.wire.ReplyBytes(aggErr)
 		for j, i := range checking {
 			var e float64
 			if aggErr != nil {
@@ -487,11 +531,12 @@ func (m *Manager) SyncCtx(ctx context.Context, round int, local []float64, contr
 	// non-contributor uploads framing only, and a collective with no
 	// contributors answers with a header-only downlink.
 	tr := sparse.Traffic{
-		UpBytes:       sparse.MessageBytes(send) + errUpBytes,
-		DownBytes:     sparse.MessageBytes(aggModel) + errDownBytes,
+		UpBytes:       m.wire.Bytes(send) + errUpBytes,
+		DownBytes:     m.wire.ReplyBytes(aggModel) + errDownBytes,
 		SyncedParams:  nReg,
 		CheckedParams: nChk,
 		TotalParams:   m.size,
+		FullBytes:     m.wire.FullRef(m.size),
 	}
 	return out, tr, nil
 }
@@ -522,10 +567,11 @@ func (m *Manager) bootstrap(ctx context.Context, round int, local []float64, con
 	m.started = true
 	m.seenTotal++
 	return out, sparse.Traffic{
-		UpBytes:      sparse.MessageBytes(send),
-		DownBytes:    sparse.MessageBytes(agg),
+		UpBytes:      m.wire.Bytes(send),
+		DownBytes:    m.wire.ReplyBytes(agg),
 		SyncedParams: m.size,
 		TotalParams:  m.size,
+		FullBytes:    m.wire.FullRef(m.size),
 	}, nil
 }
 

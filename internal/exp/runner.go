@@ -57,6 +57,9 @@ type Config struct {
 	// Fanout >= 2 aggregates population rounds through the hierarchical
 	// tree (fl.Config.Fanout); zero keeps the flat collective.
 	Fanout int
+	// Compress is the wire compression chain spec (fl.Config.Compress),
+	// e.g. "topk,q4,rans". Empty keeps the default f32 sparse codec.
+	Compress string
 	// Verbose receives progress lines when non-nil. Grid drivers wrap it so
 	// concurrent runs emit whole, per-run-prefixed lines.
 	Verbose io.Writer
@@ -193,6 +196,7 @@ func runOne(ctx context.Context, cfg Config, w Workload, scheme string, arts *Ar
 		EventThreshold: cfg.EventThreshold,
 		Population:     cfg.Population,
 		Fanout:         cfg.Fanout,
+		Compress:       cfg.Compress,
 	}
 	if cfg.Netem != (netem.Config{}) {
 		flCfg.Netem = cfg.Netem

@@ -34,7 +34,8 @@ func (e *Engine) AddClient(shard *data.Subset) (*Client, error) {
 	optimizer := opt.NewSGD(e.cfg.LR,
 		opt.WithMomentum(e.cfg.Momentum),
 		opt.WithWeightDecay(e.cfg.WeightDecay))
-	syncer := e.factory(id, model.Size(), e.server)
+	syncer := e.factory(id, model.Size(), e.slotCollective())
+	sparse.SetSyncerWire(syncer, e.wire())
 
 	// FedSU state transfer: mask + no-checking information (Sec. V). The
 	// probe resolves through any event-trigger middleware to the strategy

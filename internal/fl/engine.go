@@ -13,6 +13,7 @@ import (
 	"fedsu/internal/opt"
 	"fedsu/internal/par"
 	"fedsu/internal/sparse"
+	"fedsu/internal/sparse/codec"
 	"fedsu/internal/tensor"
 )
 
@@ -97,6 +98,17 @@ type Config struct {
 	// PopNetem configures the population-scale timing model; the zero
 	// value means netem.DefaultPopulationConfig(Population, fanout).
 	PopNetem netem.PopulationConfig
+	// Compress selects the wire compression chain for collective payloads,
+	// as a codec chain spec ("topk,q4,rans" — see codec.Parse). Every
+	// member upload and global download passes through the chain: in
+	// process the aggregator applies the chain's encode→decode image, over
+	// TCP the transport ships the actual encoding, and the two runs stay
+	// bit-identical. Strategy traffic is charged at the chain's measured
+	// message sizes. Empty keeps the default wire (the historical
+	// bitmap/index codec), byte-identical to every pre-chain run. Tree
+	// partials are unaffected — chains compress the member-upload boundary,
+	// not the raw float64 partial cascade.
+	Compress string
 	// DType declares the compute precision the model builder was configured
 	// for. The engine derives the actual precision from the built replicas
 	// (batches, evaluation, and the optimizer all follow the model's
@@ -193,6 +205,10 @@ type Engine struct {
 	tree     *Tree
 	proxies  []*slotProxy
 
+	// chain is the parsed Compress spec (nil for the default wire); it is
+	// applied to every slot's aggregator and bound into strategy accounting.
+	chain *codec.Chain
+
 	evalModel *nn.Model
 	evalX     []evalBatch
 	dataset   *data.Dataset
@@ -252,6 +268,22 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 	if probe.DType() != cfg.DType {
 		return nil, fmt.Errorf("fl: config DType %v but builder produces %v models", cfg.DType, probe.DType())
 	}
+	var chain *codec.Chain
+	if cfg.Compress != "" {
+		if cfg.DType == tensor.Float32 {
+			// The float32 compute path relies on the wire being lossless for
+			// f32-representable values; chain stages (quantization grids,
+			// factor reconstructions) produce values outside that set.
+			return nil, fmt.Errorf("fl: Compress %q is unsupported with Float32 models: chain wire images are not float32-exact", cfg.Compress)
+		}
+		chain, err = codec.Parse(cfg.Compress, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fl: %w", err)
+		}
+		if chain.IsDefault() {
+			chain = nil // the explicit default spec is the legacy wire
+		}
+	}
 	server := NewServer(cfg.NumClients)
 	if cfg.CollectiveDeadline > 0 {
 		server.SetDeadline(cfg.CollectiveDeadline)
@@ -280,6 +312,7 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 		builder:   builder,
 		factory:   factory,
 		nextID:    cfg.NumClients,
+		chain:     chain,
 	}
 	if err := e.setupPopulation(); err != nil {
 		return nil, err
@@ -295,6 +328,7 @@ func NewEngineWithShards(cfg Config, builder nn.Builder, ds *data.Dataset, shard
 		}
 		optimizer := opt.NewSGD(cfg.LR, optOpts...)
 		syncer := factory(i, model.Size(), e.slotCollective())
+		sparse.SetSyncerWire(syncer, e.wire())
 		if cfg.Async.Enabled() {
 			switch sparse.UnwrapSyncer(syncer).Name() {
 			case "fedavg", "cmfl", "qsgd":
@@ -356,6 +390,14 @@ func (e *Engine) wireParams() int {
 	return e.evalModel.Size()
 }
 
+// wire is the engine's negotiated wire: the parsed Compress chain, or the
+// legacy default codec when none was configured.
+func (e *Engine) wire() sparse.Wire { return sparse.Wire{Chain: e.chain} }
+
+// Chain exposes the negotiated compression chain (nil for the default
+// wire) so drivers can report its per-stage byte counters.
+func (e *Engine) Chain() *codec.Chain { return e.chain }
+
 // RunRound executes one full round: timing-model participant selection,
 // concurrent local training and synchronization, and evaluation.
 func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error) {
@@ -383,7 +425,7 @@ func (e *Engine) RunRound(ctx context.Context, evaluate bool) (RoundStats, error
 	computeSec := e.compute.RoundCompute(e.wireParams(), e.cfg.LocalIters)
 	loads := e.prevLoads
 	if loads == nil {
-		full := int(float64(sparse.DenseMessageBytes(e.evalModel.Size())) * scale)
+		full := int(float64(e.wire().DenseBytes(e.evalModel.Size())) * scale)
 		loads = e.cluster.UniformLoad(full, full, computeSec)
 	}
 	outcome := e.cluster.Round(loads)

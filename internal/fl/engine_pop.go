@@ -146,12 +146,16 @@ func (e *Engine) collective() collective {
 // strategy factory: the server directly in classic mode, a member-id
 // rebinding proxy over the tree or server in population mode.
 func (e *Engine) slotCollective() sparse.Aggregator {
-	if e.pop == nil {
-		return e.server
+	var agg sparse.Aggregator = e.server
+	if e.pop != nil {
+		p := &slotProxy{agg: e.collective()}
+		e.proxies = append(e.proxies, p)
+		agg = p
 	}
-	p := &slotProxy{agg: e.collective()}
-	e.proxies = append(e.proxies, p)
-	return p
+	// The chain wraps the member-upload boundary: submissions and results
+	// pass through the chain's wire image, exactly what a TCP transport
+	// ships, while the tree's internal partial cascade stays raw float64.
+	return sparse.WrapAggregator(agg, e.chain)
 }
 
 // runPopRound executes one population-mode round: sample the cohort,
@@ -180,7 +184,7 @@ func (e *Engine) runPopRound(ctx context.Context, evaluate bool) (RoundStats, er
 	computeSec := e.compute.RoundCompute(e.wireParams(), e.cfg.LocalIters)
 	loads := e.prevLoads
 	if loads == nil {
-		full := int(float64(sparse.DenseMessageBytes(e.evalModel.Size())) * scale)
+		full := int(float64(e.wire().DenseBytes(e.evalModel.Size())) * scale)
 		loads = netem.UniformCohortLoad(len(cohort), full, full, computeSec)
 	}
 	partialBytes := sparse.PartialPayloadSize(e.wireParams())

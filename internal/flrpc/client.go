@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"fedsu/internal/sparse"
+	"fedsu/internal/sparse/codec"
 	"fedsu/internal/trace"
 )
 
@@ -38,6 +39,16 @@ type DialConfig struct {
 	// coordinator; collectives are then submitted with SubmitPartial
 	// rather than per-member Aggregate calls.
 	BlockSize int
+	// Compress selects the compression chain for uploads, as a codec chain
+	// spec ("topk,q4,rans"); it must match the session's negotiated chain
+	// (the coordinator decodes any chain payload, but a run only
+	// reproduces the in-process engine when every party encodes with the
+	// same chain and seed). Empty keeps the default vector codec. Relay
+	// partials (SubmitPartial) are never chain-encoded.
+	Compress string
+	// CompressSeed seeds the chain's stochastic stages; share it with the
+	// coordinator's Config.CompressSeed.
+	CompressSeed int64
 }
 
 func (c *DialConfig) fillDefaults() {
@@ -67,6 +78,8 @@ type Client struct {
 	addr     string
 	cfg      DialConfig
 	counters *trace.Counters
+	// chain is the parsed Compress spec (nil for the default wire).
+	chain *codec.Chain
 
 	mu      sync.Mutex
 	rpc     *rpc.Client
@@ -98,6 +111,15 @@ func Dial(addr, name string) (*Client, error) {
 func DialWith(addr string, cfg DialConfig) (*Client, error) {
 	cfg.fillDefaults()
 	c := &Client{addr: addr, cfg: cfg, counters: trace.NewCounters()}
+	if cfg.Compress != "" {
+		chain, err := codec.Parse(cfg.Compress, cfg.CompressSeed)
+		if err != nil {
+			return nil, fmt.Errorf("flrpc: %w", err)
+		}
+		if !chain.IsDefault() {
+			c.chain = chain
+		}
+	}
 	if _, err := c.ensureConn(); err != nil {
 		return nil, err
 	}
@@ -314,14 +336,22 @@ func (c *Client) AggregateErrorCtx(ctx context.Context, clientID, round int, val
 func (c *Client) call(ctx context.Context, kind string, clientID, round int, values []float64) ([]float64, error) {
 	args := AggArgs{ClientID: clientID, Round: round, Kind: kind, Abstain: values == nil}
 	if values != nil {
-		// Encode into a pooled buffer sized exactly by VectorPayloadSize.
+		// Encode into a pooled buffer — sized exactly by VectorPayloadSize
+		// on the default wire, grown by the chain encoder otherwise.
 		// net/rpc writes the request synchronously inside Go — by the time
 		// any attempt returns (even via ctx), the bytes are on the wire — so
 		// the buffer is recyclable when this call exits, retries included.
-		wireBuf := sparse.GetWireBuf(sparse.VectorPayloadSize(values))
-		defer sparse.PutWireBuf(wireBuf)
-		*wireBuf = sparse.AppendVectorPayload(*wireBuf, values)
-		args.Payload = *wireBuf
+		if c.chain != nil {
+			chainBuf := codec.GetBuf(64)
+			defer codec.PutBuf(chainBuf)
+			*chainBuf = c.chain.AppendEncode((*chainBuf)[:0], values)
+			args.Payload = *chainBuf
+		} else {
+			wireBuf := sparse.GetWireBuf(sparse.VectorPayloadSize(values))
+			defer sparse.PutWireBuf(wireBuf)
+			*wireBuf = sparse.AppendVectorPayload(*wireBuf, values)
+			args.Payload = *wireBuf
+		}
 		c.counters.Add("agg_tx_bytes", int64(len(args.Payload)))
 	}
 	reply, err := c.doAgg(ctx, ServiceName+".Aggregate", fmt.Sprintf("aggregate %s round %d", kind, round), args)

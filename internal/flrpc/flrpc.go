@@ -43,6 +43,7 @@ import (
 
 	"fedsu/internal/fl"
 	"fedsu/internal/sparse"
+	"fedsu/internal/sparse/codec"
 	"fedsu/internal/trace"
 )
 
@@ -194,6 +195,19 @@ type Config struct {
 	// only relay partials are retried idempotently. Incompatible with
 	// Async. Zero keeps the flat fl.Server.
 	Fanout int
+	// Compress selects the compression chain for collective replies, as a
+	// codec chain spec ("topk,q4,rans" — see codec.Parse). The decode side
+	// needs no configuration (payloads are self-describing), so a
+	// coordinator accepts chain-encoded uploads regardless; Compress only
+	// governs what the coordinator ships downlink. Empty keeps the default
+	// vector codec, byte-identical to every pre-chain deployment. Relay
+	// partials (SubmitPartial) are never chain-encoded — they are raw
+	// float64 intermediates of the canonical fold.
+	Compress string
+	// CompressSeed seeds the chain's stochastic stages. Every party of a
+	// run (coordinator and clients) must share it for the run to reproduce
+	// the in-process engine bit-for-bit; decoding works regardless.
+	CompressSeed int64
 }
 
 // aggKey identifies one collective for the reply-encoding cache.
@@ -225,6 +239,8 @@ type Coordinator struct {
 	lastSeen map[int]time.Time
 
 	counters *trace.Counters
+	// chain is the parsed Compress spec (nil for the default wire).
+	chain *codec.Chain
 	// Exactly one of srv/tree is non-nil: the flat collective, or the
 	// hierarchical one (Config.Fanout).
 	srv  *fl.Server
@@ -259,6 +275,15 @@ func NewCoordinatorWith(cfg Config) (*Coordinator, error) {
 		lastSeen:   map[int]time.Time{},
 		counters:   trace.NewCounters(),
 		blockOf:    map[int]int{},
+	}
+	if cfg.Compress != "" {
+		chain, err := codec.Parse(cfg.Compress, cfg.CompressSeed)
+		if err != nil {
+			return nil, fmt.Errorf("flrpc: %w", err)
+		}
+		if !chain.IsDefault() {
+			c.chain = chain
+		}
 	}
 	if cfg.Fanout >= 2 {
 		if cfg.Async.Enabled() {
@@ -524,20 +549,21 @@ func (c *Coordinator) encodeReply(round int, kind string, res []float64, reply *
 		// No reply cache in async mode: the global evolves with every K-th
 		// submission, so a (round, kind) key does not identify one stable
 		// result the way a closed barrier's mean does.
-		reply.Payload = sparse.EncodeVectorPayload(res)
+		reply.Payload = c.encodeVector(res)
 		c.counters.Add("agg_tx_bytes", int64(len(reply.Payload)))
 		return
 	}
 	// Every waiter of the collective receives the same mean; encode it once
 	// and serve the cached bytes. The double-checked pattern keeps the
 	// O(model) encode outside the coordinator lock — a racing duplicate
-	// encode is possible but bounded and byte-identical.
+	// encode is possible but bounded and byte-identical (chain encoding is
+	// deterministic: the quantizer's rounding is a pure seeded hash).
 	k := aggKey{round: round, kind: kind}
 	c.mu.Lock()
 	payload, ok := c.replyEnc[k]
 	c.mu.Unlock()
 	if !ok {
-		payload = sparse.EncodeVectorPayload(res)
+		payload = c.encodeVector(res)
 		c.mu.Lock()
 		if cached, dup := c.replyEnc[k]; dup {
 			payload = cached
@@ -548,6 +574,18 @@ func (c *Coordinator) encodeReply(round int, kind string, res []float64, reply *
 	}
 	reply.Payload = payload
 	c.counters.Add("agg_tx_bytes", int64(len(payload)))
+}
+
+// encodeVector encodes a collective result with the configured chain's
+// Reply variant (quantizers widened to 8 bits — the mean of K k-bit
+// uploads needs the finer grid), or the default vector codec when no
+// chain is configured. The returned slice is a plain allocation (never
+// pooled): reply-cache entries outlive the handler.
+func (c *Coordinator) encodeVector(res []float64) []byte {
+	if c.chain != nil {
+		return c.chain.Reply().AppendEncode(nil, res)
+	}
+	return sparse.EncodeVectorPayload(res)
 }
 
 // SubmitPartial implements the tier collective call: a leaf relay ships

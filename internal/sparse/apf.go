@@ -29,6 +29,7 @@ type APF struct {
 	id   int
 	size int
 	agg  Aggregator
+	wire Wire
 
 	stability  float64
 	minHistory int
@@ -71,6 +72,9 @@ func APFFactory(clientID, size int, agg Aggregator) Syncer {
 // Name implements Syncer.
 func (a *APF) Name() string { return "apf" }
 
+// SetWire implements WireSetter.
+func (a *APF) SetWire(w Wire) { a.wire = w }
+
 // FrozenCount returns the number of currently-frozen parameters.
 func (a *APF) FrozenCount() int {
 	n := 0
@@ -112,11 +116,19 @@ func (a *APF) SyncCtx(ctx context.Context, round int, local []float64, contribut
 			active = append(active, i)
 		}
 	}
+	// Under a lossy chain the collective runs in the delta domain against
+	// the shared previous global (see the FedSU manager for the argument);
+	// the first sync has no reference yet and ships values.
+	delta := a.wire.Enabled() && a.prevGlobal != nil
 	var send []float64
 	if contributor {
 		send = make([]float64, len(active))
 		for j, i := range active {
-			send[j] = local[i]
+			if delta {
+				send[j] = local[i] - a.prevGlobal[i]
+			} else {
+				send[j] = local[i]
+			}
 		}
 	}
 	agg, err := AggModel(ctx, a.agg, a.id, round, send)
@@ -139,7 +151,11 @@ func (a *APF) SyncCtx(ctx context.Context, round int, local []float64, contribut
 			return nil, Traffic{}, fmt.Errorf("apf: aggregate returned %d values for %d active params", len(agg), len(active))
 		}
 		for j, i := range active {
-			out[i] = agg[j]
+			if delta {
+				out[i] = a.prevGlobal[i] + agg[j]
+			} else {
+				out[i] = agg[j]
+			}
 		}
 	}
 
@@ -189,10 +205,11 @@ func (a *APF) SyncCtx(ctx context.Context, round int, local []float64, contribut
 	// Actual encoded bytes of the compacted active-parameter vectors; an
 	// abstaining client or an empty collective costs framing only.
 	return out, Traffic{
-		UpBytes:      MessageBytes(send),
-		DownBytes:    MessageBytes(agg),
+		UpBytes:      a.wire.Bytes(send),
+		DownBytes:    a.wire.ReplyBytes(agg),
 		SyncedParams: len(active),
 		TotalParams:  a.size,
+		FullBytes:    a.wire.FullRef(a.size),
 	}, nil
 }
 

@@ -15,6 +15,7 @@ type CMFL struct {
 	id   int
 	size int
 	agg  Aggregator
+	wire Wire
 
 	// RelevanceThreshold is the minimum sign-agreement fraction required
 	// to upload (0.8 in the paper).
@@ -39,6 +40,9 @@ func CMFLFactory(clientID, size int, agg Aggregator) Syncer {
 
 // Name implements Syncer.
 func (c *CMFL) Name() string { return "cmfl" }
+
+// SetWire implements WireSetter.
+func (c *CMFL) SetWire(w Wire) { c.wire = w }
 
 // Relevance returns the sign-agreement fraction between the local update
 // and the estimated global update.
@@ -109,9 +113,10 @@ func (c *CMFL) SyncCtx(ctx context.Context, round int, local []float64, contribu
 	// coincide whenever anyone contributed; when the whole fleet withheld the
 	// server still redistributes the unchanged model).
 	tr := Traffic{
-		DownBytes:   MessageBytes(out),
+		DownBytes:   c.wire.ReplyBytes(out),
 		TotalParams: c.size,
-		UpBytes:     MessageBytes(send),
+		UpBytes:     c.wire.Bytes(send),
+		FullBytes:   c.wire.FullRef(c.size),
 	}
 	if relevant {
 		tr.SyncedParams = c.size

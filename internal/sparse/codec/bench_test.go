@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Chain-stage benchmarks: encode cost and output size per chain at the
+// densities the strategies actually produce (FedSU uploads run ~0.1–10%
+// dense; replies and bootstrap rounds are dense). `make bench-codec`
+// runs these with -count 3; BENCH_codec.json tracks the medians.
+
+const benchParams = 1 << 16
+
+// benchVector synthesizes a vector with the given nonzero density whose
+// values mimic concatenated layers at different scales (the case the
+// per-block grids exist for).
+func benchVector(density float64) []float64 {
+	vec := make([]float64, benchParams)
+	if density <= 0 {
+		return vec
+	}
+	stride := int(1 / density)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(vec); i += stride {
+		layerScale := math.Pow(10, float64((i/8192)%4)-2) // 1e-2 .. 1e1
+		vec[i] = math.Sin(float64(i)) * layerScale
+	}
+	return vec
+}
+
+var benchDensities = []struct {
+	name    string
+	density float64
+}{
+	{"d0.1%", 0.001},
+	{"d1%", 0.01},
+	{"d10%", 0.1},
+	{"dense", 1},
+}
+
+var benchSpecs = []string{"topk", "topk,q4", "topk,q4,rans", "topk,q8", "lowrank", "rans"}
+
+func BenchmarkChainEncode(b *testing.B) {
+	for _, spec := range benchSpecs {
+		ch, err := Parse(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range benchDensities {
+			vec := benchVector(d.density)
+			encoded := len(ch.AppendEncode(nil, vec))
+			b.Run(fmt.Sprintf("%s/%s", spec, d.name), func(b *testing.B) {
+				b.SetBytes(8 * benchParams)
+				buf := GetBuf(encoded + 64)
+				defer PutBuf(buf)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					*buf = ch.AppendEncode((*buf)[:0], vec)
+				}
+				// After ResetTimer (it deletes user metrics).
+				b.ReportMetric(float64(encoded), "encodedB")
+			})
+		}
+	}
+}
+
+func BenchmarkChainRoundTrip(b *testing.B) {
+	for _, spec := range []string{"topk", "topk,q4,rans"} {
+		ch, err := Parse(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vec := benchVector(0.01)
+		b.Run(spec, func(b *testing.B) {
+			b.SetBytes(8 * benchParams)
+			for i := 0; i < b.N; i++ {
+				ch.RoundTrip(vec)
+			}
+		})
+	}
+}

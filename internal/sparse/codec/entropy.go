@@ -1,0 +1,296 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The entropy stage ("rans" in chain specs) wraps the inner payload —
+// the base stage's varint-delta index stream, quantized symbol packs,
+// or factor bytes — in an adaptive byte-level range coder. An adaptive
+// order-0 model was chosen over a static-table rANS: FedSU messages are
+// small (a 1%-dense round is a few KB), and a static frequency table
+// costs 256+ header bytes the adaptive coder never ships. The coder is
+// the carry-counting range coder (cache + pending-0xFF scheme) over a
+// Fenwick-tree cumulative-frequency model, fully deterministic: both
+// ends update the model identically symbol by symbol.
+//
+// Layout after the 0x06 tag:
+//
+//	[flag u8: 0 raw, 1 coded][rawLen uvarint][raw or coded bytes]
+//
+// The raw escape keeps the stage total: when coding expands the payload
+// (already-dense float32 bits), the inner bytes ship untouched plus two
+// bytes of framing. Decoding recurses on the inner payload's own tag,
+// depth-capped by decodeDepth; rawLen is bounded by the worst-case
+// encodable payload for maxParams before any allocation.
+
+const (
+	entropyRaw   = 0x00
+	entropyCoded = 0x01
+)
+
+type entropyStage struct{}
+
+// Entropy returns the range-coding stage. It consumes an encoded
+// payload; a chain whose vector is still numeric when it reaches this
+// stage serializes through the base stage first (the Chain combinator
+// inserts that step).
+func Entropy() Stage { return entropyStage{} }
+
+func (entropyStage) Name() string { return "rans" }
+
+func (entropyStage) Encode(dst []byte, v Vector) ([]byte, error) {
+	if v.Bytes == nil {
+		return nil, fmt.Errorf("codec: entropy stage needs an encoded payload (chain inserts the base stage)")
+	}
+	return appendEntropy(dst, v.Bytes), nil
+}
+
+func (entropyStage) Decode(dst []float64, payload []byte, maxParams int) ([]float64, error) {
+	if len(payload) < 1 || payload[0] != FormatEntropy {
+		return nil, fmt.Errorf("codec: entropy stage expects a 0x06 payload")
+	}
+	return decodeEntropy(dst, payload[1:], maxParams, 0)
+}
+
+// maxInnerPayload is the largest inner payload a maxParams-bounded
+// decode can legitimately produce: the index form's worst case of
+// ten varint bytes plus four value bytes per entry, plus nested frame
+// headers. Anything larger is an allocation bomb.
+func maxInnerPayload(maxParams int) int {
+	return 256 + 16*maxParams
+}
+
+func appendEntropy(dst []byte, inner []byte) []byte {
+	base := len(dst)
+	dst = growBytes(dst, 2)
+	dst[base] = FormatEntropy
+	dst = binary.AppendUvarint(dst[:base+2], uint64(len(inner)))
+	dst[base+1] = entropyCoded
+	mark := len(dst)
+	enc := rangeEncoder{out: dst}
+	var m entropyModel
+	m.init()
+	for _, by := range inner {
+		enc.encode(&m, by)
+	}
+	dst = enc.flush()
+	if len(dst)-mark >= len(inner) {
+		// Coding expanded the payload: escape to the raw form.
+		dst = dst[:mark]
+		dst[base+1] = entropyRaw
+		return append(dst, inner...)
+	}
+	return dst
+}
+
+func decodeEntropy(dst []float64, b []byte, maxParams, depth int) ([]float64, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("codec: entropy payload too short")
+	}
+	flag := b[0]
+	rawLen64, w := binary.Uvarint(b[1:])
+	if w <= 0 {
+		return nil, fmt.Errorf("codec: entropy payload has a bad length varint")
+	}
+	body := b[1+w:]
+	if rawLen64 == 0 || rawLen64 > uint64(maxInnerPayload(maxParams)) {
+		return nil, fmt.Errorf("codec: entropy inner length %d exceeds limit", rawLen64)
+	}
+	rawLen := int(rawLen64)
+	switch flag {
+	case entropyRaw:
+		if len(body) != rawLen {
+			return nil, fmt.Errorf("codec: entropy raw payload has %d bytes, want %d", len(body), rawLen)
+		}
+		return decodeDepth(dst, body, maxParams, depth+1)
+	case entropyCoded:
+		innerPtr := GetBuf(rawLen)
+		defer PutBuf(innerPtr)
+		inner := growBytes(*innerPtr, rawLen)
+		dec := newRangeDecoder(body)
+		var m entropyModel
+		m.init()
+		for i := range inner {
+			inner[i] = dec.decode(&m)
+		}
+		if dec.overrun {
+			return nil, fmt.Errorf("codec: entropy coded payload truncated")
+		}
+		return decodeDepth(dst, inner, maxParams, depth+1)
+	default:
+		return nil, fmt.Errorf("codec: unknown entropy flag 0x%02x", flag)
+	}
+}
+
+// entropyModel is an adaptive order-0 model over the byte alphabet:
+// plain frequencies plus a Fenwick tree for O(log 256) cumulative sums
+// and symbol lookup. Totals stay well under the coder's 2^24 range
+// floor, so range/total never truncates to zero.
+type entropyModel struct {
+	freq [256]uint32
+	tree [257]uint32 // Fenwick, 1-based
+	tot  uint32
+}
+
+const (
+	entropyInc     = 24
+	entropyRescale = 1 << 15
+)
+
+func (m *entropyModel) init() {
+	for i := range m.freq {
+		m.freq[i] = 1
+	}
+	m.rebuild()
+}
+
+func (m *entropyModel) rebuild() {
+	clear(m.tree[:])
+	m.tot = 0
+	for s, f := range m.freq {
+		m.tot += f
+		i := s + 1
+		for ; i <= 256; i += i & (-i) {
+			m.tree[i] += f
+		}
+	}
+}
+
+// cum is the cumulative frequency of symbols strictly below s.
+func (m *entropyModel) cum(s int) uint32 {
+	var c uint32
+	for i := s; i > 0; i -= i & (-i) {
+		c += m.tree[i]
+	}
+	return c
+}
+
+// find returns the symbol whose cumulative interval contains target,
+// plus that symbol's cumulative base.
+func (m *entropyModel) find(target uint32) (sym int, base uint32) {
+	idx := 0
+	for bit := 256; bit > 0; bit >>= 1 {
+		next := idx + bit
+		if next <= 256 && m.tree[next] <= target {
+			target -= m.tree[next]
+			base += m.tree[next]
+			idx = next
+		}
+	}
+	return idx, base
+}
+
+func (m *entropyModel) update(s int) {
+	m.freq[s] += entropyInc
+	for i := s + 1; i <= 256; i += i & (-i) {
+		m.tree[i] += entropyInc
+	}
+	m.tot += entropyInc
+	if m.tot >= entropyRescale {
+		for i := range m.freq {
+			m.freq[i] = (m.freq[i] + 1) >> 1
+		}
+		m.rebuild()
+	}
+}
+
+// rangeEncoder is the carry-counting range coder: 32-bit range, 33-bit
+// low accumulator whose overflow bit propagates through a cached byte
+// and a run of pending 0xFFs.
+type rangeEncoder struct {
+	low       uint64
+	rng       uint32
+	cache     byte
+	cacheSize int64
+	out       []byte
+}
+
+func (e *rangeEncoder) encode(m *entropyModel, sym byte) {
+	if e.rng == 0 { // first call
+		e.rng = 0xFFFFFFFF
+		e.cacheSize = 1
+	}
+	s := int(sym)
+	cum, f, tot := m.cum(s+1), m.freq[s], m.tot
+	cumBase := cum - f
+	r := e.rng / tot
+	e.low += uint64(r) * uint64(cumBase)
+	e.rng = r * f
+	for e.rng < 1<<24 {
+		e.shiftLow()
+		e.rng <<= 8
+	}
+	m.update(s)
+}
+
+func (e *rangeEncoder) shiftLow() {
+	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
+		carry := byte(e.low >> 32)
+		e.out = append(e.out, e.cache+carry)
+		for ; e.cacheSize > 1; e.cacheSize-- {
+			e.out = append(e.out, 0xFF+carry)
+		}
+		e.cache = byte(e.low >> 24)
+		e.cacheSize = 0
+	}
+	e.cacheSize++
+	e.low = (e.low << 8) & 0xFFFFFFFF
+}
+
+func (e *rangeEncoder) flush() []byte {
+	if e.rng == 0 { // nothing encoded
+		e.rng = 0xFFFFFFFF
+		e.cacheSize = 1
+	}
+	for i := 0; i < 5; i++ {
+		e.shiftLow()
+	}
+	return e.out
+}
+
+type rangeDecoder struct {
+	code    uint32
+	rng     uint32
+	in      []byte
+	pos     int
+	overrun bool
+}
+
+func newRangeDecoder(in []byte) *rangeDecoder {
+	d := &rangeDecoder{rng: 0xFFFFFFFF, in: in}
+	d.next() // leading zero byte emitted by the encoder's initial cache
+	for i := 0; i < 4; i++ {
+		d.code = d.code<<8 | uint32(d.next())
+	}
+	return d
+}
+
+func (d *rangeDecoder) next() byte {
+	if d.pos >= len(d.in) {
+		d.overrun = true
+		return 0
+	}
+	by := d.in[d.pos]
+	d.pos++
+	return by
+}
+
+func (d *rangeDecoder) decode(m *entropyModel) byte {
+	r := d.rng / m.tot
+	target := d.code / r
+	if target >= m.tot {
+		target = m.tot - 1
+	}
+	sym, base := m.find(target)
+	f := m.freq[sym]
+	d.code -= r * base
+	d.rng = r * f
+	for d.rng < 1<<24 {
+		d.code = d.code<<8 | uint32(d.next())
+		d.rng <<= 8
+	}
+	m.update(sym)
+	return byte(sym)
+}

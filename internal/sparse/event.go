@@ -75,6 +75,10 @@ func (e *EventTrigger) Name() string { return e.inner.Name() }
 // Unwrap implements Unwrapper.
 func (e *EventTrigger) Unwrap() Syncer { return e.inner }
 
+// SetWire implements WireSetter by delegating to the wrapped strategy, so
+// chain accounting survives middleware wrapping in either order.
+func (e *EventTrigger) SetWire(w Wire) { SetSyncerWire(e.inner, w) }
+
 // Threshold returns the configured trigger threshold.
 func (e *EventTrigger) Threshold() float64 { return e.threshold }
 

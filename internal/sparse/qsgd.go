@@ -21,6 +21,7 @@ type QSGD struct {
 	id   int
 	size int
 	agg  Aggregator
+	wire Wire
 
 	bits int
 	rng  *rand.Rand
@@ -55,6 +56,13 @@ func QSGDFactory(clientID, size int, agg Aggregator) Syncer {
 
 // Name implements Syncer.
 func (q *QSGD) Name() string { return "qsgd" }
+
+// SetWire implements WireSetter. With a non-default chain attached the
+// quantized rounds charge the chain's measured encoded bytes (the values
+// QSGD ships are its own dequantized grid points, which the chain then
+// compresses further — e.g. an entropy stage squeezes the grid's symbol
+// redundancy) instead of the analytic bits-per-value model.
+func (q *QSGD) SetWire(w Wire) { q.wire = w }
 
 // Bits returns the configured quantization width.
 func (q *QSGD) Bits() int { return q.bits }
@@ -117,10 +125,11 @@ func (q *QSGD) SyncCtx(ctx context.Context, round int, local []float64, contribu
 		// at the vector codec's actual encoded size; the quantized rounds
 		// below keep QSGD's own bits-per-value payload model.
 		return out, Traffic{
-			UpBytes:      MessageBytes(send),
-			DownBytes:    MessageBytes(agg),
+			UpBytes:      q.wire.Bytes(send),
+			DownBytes:    q.wire.ReplyBytes(agg),
 			SyncedParams: q.size,
 			TotalParams:  q.size,
+			FullBytes:    q.wire.FullRef(q.size),
 		}, nil
 	}
 
@@ -146,13 +155,23 @@ func (q *QSGD) SyncCtx(ctx context.Context, round int, local []float64, contribu
 	}
 	copy(q.prevGlobal, out)
 
-	// Wire cost: bits per value + the shared scale, both directions
-	// (downlink carries the aggregated update at the same width).
-	payload := (q.size*q.bits+7)/8 + 8
-	return out, Traffic{
-		UpBytes:      payload + HeaderBytes,
-		DownBytes:    payload + HeaderBytes,
+	tr := Traffic{
 		SyncedParams: q.size,
 		TotalParams:  q.size,
-	}, nil
+		FullBytes:    q.wire.FullRef(q.size),
+	}
+	if q.wire.Enabled() {
+		// Measured chain bytes: what the negotiated wire actually ships.
+		tr.UpBytes = q.wire.Bytes(send)
+		tr.DownBytes = q.wire.ReplyBytes(aggUpd)
+	} else {
+		// Analytic wire cost: bits per value + the shared scale, both
+		// directions (downlink carries the aggregated update at the same
+		// width). The default vector codec has no sub-float32 width, so the
+		// model stands in for a bespoke QSGD packing.
+		payload := (q.size*q.bits+7)/8 + 8
+		tr.UpBytes = payload + HeaderBytes
+		tr.DownBytes = payload + HeaderBytes
+	}
+	return out, tr, nil
 }

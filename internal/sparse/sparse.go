@@ -30,6 +30,12 @@ type Traffic struct {
 	CheckedParams int
 	// TotalParams is the model size, the denominator for ratios.
 	TotalParams int
+	// FullBytes is the full-model exchange reference cost this traffic is
+	// measured against — one dense uplink plus one dense downlink under the
+	// negotiated wire chain (Wire.FullRef). Zero means the strategy predates
+	// chain accounting; SparsificationRatio then falls back to the legacy
+	// default-wire reference.
+	FullBytes int
 }
 
 // Add accumulates o into t.
@@ -39,17 +45,25 @@ func (t *Traffic) Add(o Traffic) {
 	t.SyncedParams += o.SyncedParams
 	t.CheckedParams += o.CheckedParams
 	t.TotalParams += o.TotalParams
+	t.FullBytes += o.FullBytes
 }
 
 // SparsificationRatio is the fraction of a full-model exchange saved this
 // round, computed from actual bytes so FedSU's error-feedback traffic is
 // charged against its savings: 1 − bytes/(full-model bytes). The reference
-// cost is the dense wire encoding of the full model in each direction.
+// cost is the dense wire encoding of the full model in each direction under
+// the same chain the measured bytes shipped with (FullBytes) — comparing
+// chain-compressed traffic against the uncompressed dense cost would let a
+// quantizing chain masquerade as sparsification. Traffic recorded before
+// chain accounting (FullBytes == 0) keeps the legacy default-wire reference.
 func (t Traffic) SparsificationRatio() float64 {
 	if t.TotalParams == 0 {
 		return 0
 	}
-	full := 2 * DenseMessageBytes(t.TotalParams)
+	full := t.FullBytes
+	if full == 0 {
+		full = 2 * DenseMessageBytes(t.TotalParams)
+	}
 	used := t.UpBytes + t.DownBytes
 	r := 1 - float64(used)/float64(full)
 	if r < 0 {
@@ -140,6 +154,7 @@ type FedAvg struct {
 	id   int
 	size int
 	agg  Aggregator
+	wire Wire
 }
 
 var _ ContextSyncer = (*FedAvg)(nil)
@@ -156,6 +171,10 @@ func FedAvgFactory(clientID, size int, agg Aggregator) Syncer {
 
 // Name implements Syncer.
 func (f *FedAvg) Name() string { return "fedavg" }
+
+// SetWire implements WireSetter: subsequent rounds charge the chain's
+// measured message sizes.
+func (f *FedAvg) SetWire(w Wire) { f.wire = w }
 
 // Sync implements Syncer.
 func (f *FedAvg) Sync(round int, local []float64, contributor bool) ([]float64, Traffic, error) {
@@ -185,10 +204,11 @@ func (f *FedAvg) SyncCtx(ctx context.Context, round int, local []float64, contri
 	// uplink is framing only, and a round with no contributors has a
 	// header-only downlink.
 	tr := Traffic{
-		UpBytes:      MessageBytes(send),
-		DownBytes:    MessageBytes(global),
+		UpBytes:      f.wire.Bytes(send),
+		DownBytes:    f.wire.ReplyBytes(global),
 		SyncedParams: f.size,
 		TotalParams:  f.size,
+		FullBytes:    f.wire.FullRef(f.size),
 	}
 	return out, tr, nil
 }

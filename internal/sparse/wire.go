@@ -1,47 +1,44 @@
 package sparse
 
-import (
-	"encoding/binary"
-	"fmt"
-	"math"
-)
+import "fedsu/internal/sparse/codec"
 
-// This file implements the self-describing dense-vector wire codec used by
-// flrpc: a one-byte format tag followed by a bitmap or index body over the
-// vector's NONZERO entries, with float32 values (BytesPerValue), the
-// paper's 32-bit traffic model. The encoder picks whichever body is
-// smaller for the vector at hand — the documented ~3 % density crossover —
-// so a FedSU sparse round ships a few varints per selected parameter while
-// a FedAvg dense round degrades gracefully to bitmap + 4 bytes/param, still
-// well under half of gob's float64 framing.
+// The self-describing dense-vector wire codec used by flrpc lives in
+// internal/sparse/codec since the compression-pipeline refactor: the
+// historical bitmap/index encoding is the codec package's base stage,
+// and these wrappers keep the sparse-package API (and its wire image)
+// exactly as PR 4 shipped it — the exact-size bitmap/index selection,
+// the ~3 % density crossover, float32 values, zeros elided. The codec
+// package adds the chainable stages (quantization, low-rank factors,
+// entropy coding); DecodeVectorPayloadInto dispatches on the leading
+// format tag, so a receiver decodes chain payloads with no negotiation.
 //
 // Wire semantics, shared with QuantizeWire: zeros (including negative
 // zero) are elided and decode as +0; nonzero values round-trip through
 // float32. Tests comparing values across the wire must compare against
-// QuantizeWire(sent), not sent.
+// QuantizeWire(sent), not sent. Under a non-default chain the wire
+// image is the chain's round-trip instead (codec.Chain.RoundTrip).
 
 const (
-	vecFormatBitmap = 0x01
-	vecFormatIndex  = 0x02
+	vecFormatBitmap = codec.FormatBitmap
+	vecFormatIndex  = codec.FormatIndex
 )
 
-// defaultMaxVectorParams bounds the decoded vector length accepted when the
-// caller does not supply its own limit: an index body is legitimately tiny
-// for any total (an all-zero tail costs nothing), so unlike the raw payload
-// decoders the length header here cannot be bounded by the input size and
-// needs an explicit cap against allocation bombs.
-const defaultMaxVectorParams = 1 << 24
+// defaultMaxVectorParams bounds the decoded vector length accepted when
+// the caller does not supply its own limit (see codec.DefaultMaxParams).
+const defaultMaxVectorParams = codec.DefaultMaxParams
 
 // MessageBytes is the actual wire cost of one collective message carrying
 // vec: HeaderBytes of framing plus the vector codec's exact encoded size.
 // A nil vec (abstention, or a collective that produced no result) costs the
 // header alone. This is the number the strategies charge their Traffic
 // accounting with — actual encoded bytes, not a per-parameter estimate.
+// Chain-aware strategies charge Wire.Bytes instead, which reduces to this
+// under the default chain.
 func MessageBytes(vec []float64) int {
 	if vec == nil {
 		return HeaderBytes
 	}
-	return HeaderBytes + VectorPayloadSize(vec)
+	return HeaderBytes + codec.BaseSize(vec)
 }
 
 // DenseMessageBytes is MessageBytes for a fully-dense vector of n
@@ -50,7 +47,7 @@ func MessageBytes(vec []float64) int {
 // Used as the full-model reference cost (sparsification ratios, first-round
 // load estimates).
 func DenseMessageBytes(n int) int {
-	return HeaderBytes + 1 + BitmapPayloadBytes(n, n)
+	return HeaderBytes + codec.DenseBaseSize(n)
 }
 
 // QuantizeWire maps v to the value a receiver observes after one trip
@@ -69,89 +66,18 @@ func EncodeVectorPayload(vec []float64) []byte {
 	return AppendVectorPayload(nil, vec)
 }
 
-// AppendVectorPayload appends the vector encoding of vec to dst and
-// returns the extended slice, growing dst at most once. The format tag is
-// chosen by exact encoded size, so VectorPayloadSize(vec) always predicts
-// the number of bytes appended.
+// AppendVectorPayload appends the base-stage vector encoding of vec to
+// dst and returns the extended slice, growing dst at most once. The
+// format tag is chosen by exact encoded size, so VectorPayloadSize(vec)
+// always predicts the number of bytes appended.
 func AppendVectorPayload(dst []byte, vec []float64) []byte {
-	nnz, varBytes := vectorStats(vec)
-	bitmapSize := 1 + BitmapPayloadBytes(len(vec), nnz)
-	indexSize := 1 + 8 + 8 + varBytes + 4*nnz
-	base := len(dst)
-	if bitmapSize <= indexSize {
-		dst = growBytes(dst, bitmapSize)
-		encodeVectorBitmap(dst[base:], vec, nnz)
-	} else {
-		dst = growBytes(dst, indexSize)
-		encodeVectorIndex(dst[base:], vec, nnz)
-	}
-	return dst
+	return codec.AppendBase(dst, vec)
 }
 
 // VectorPayloadSize is the exact encoded size of vec, in bytes, without
 // materializing the payload — the number netem traffic accounting charges.
 func VectorPayloadSize(vec []float64) int {
-	nnz, varBytes := vectorStats(vec)
-	bitmapSize := 1 + BitmapPayloadBytes(len(vec), nnz)
-	indexSize := 1 + 8 + 8 + varBytes + 4*nnz
-	if bitmapSize <= indexSize {
-		return bitmapSize
-	}
-	return indexSize
-}
-
-// vectorStats scans vec once for the nonzero count and the exact
-// delta-varint footprint of the nonzero positions.
-func vectorStats(vec []float64) (nnz, varBytes int) {
-	prev := 0
-	for i, v := range vec {
-		if v != 0 {
-			varBytes += uvarintLen(uint64(i - prev))
-			prev = i
-			nnz++
-		}
-	}
-	return nnz, varBytes
-}
-
-// encodeVectorBitmap writes the bitmap form into out, which has exactly
-// the required size.
-func encodeVectorBitmap(out []byte, vec []float64, nnz int) {
-	out[0] = vecFormatBitmap
-	body := out[1:]
-	binary.LittleEndian.PutUint64(body[:8], uint64(len(vec)))
-	bits := body[8 : 8+(len(vec)+7)/8]
-	clear(bits)
-	vals := body[8+len(bits):]
-	k := 0
-	for i, v := range vec {
-		if v != 0 {
-			bits[i/8] |= 1 << (i % 8)
-			binary.LittleEndian.PutUint32(vals[4*k:], math.Float32bits(float32(v)))
-			k++
-		}
-	}
-}
-
-// encodeVectorIndex writes the index form into out, which has exactly the
-// required size: tag, total length, count, delta varints, float32 values.
-func encodeVectorIndex(out []byte, vec []float64, nnz int) {
-	out[0] = vecFormatIndex
-	body := out[1:]
-	binary.LittleEndian.PutUint64(body[:8], uint64(len(vec)))
-	binary.LittleEndian.PutUint64(body[8:16], uint64(nnz))
-	pos := 16
-	prev := 0
-	valBase := len(body) - 4*nnz
-	k := 0
-	for i, v := range vec {
-		if v != 0 {
-			pos += binary.PutUvarint(body[pos:], uint64(i-prev))
-			prev = i
-			binary.LittleEndian.PutUint32(body[valBase+4*k:], math.Float32bits(float32(v)))
-			k++
-		}
-	}
+	return codec.BaseSize(vec)
 }
 
 // DecodeVectorPayload decodes a vector payload into a fresh slice,
@@ -165,23 +91,10 @@ func DecodeVectorPayload(b []byte) ([]float64, error) {
 // decoding allocation-free). maxParams bounds the claimed vector length —
 // receivers that know the model size should pass it; maxParams <= 0 applies
 // defaultMaxVectorParams. The returned slice is fully overwritten: elided
-// positions are +0.
+// positions are +0. Every chain stage's tag is accepted (the encoding is
+// self-describing), with the PR 4 allocation-bomb bounds applied per tag.
 func DecodeVectorPayloadInto(dst []float64, b []byte, maxParams int) ([]float64, error) {
-	if maxParams <= 0 {
-		maxParams = defaultMaxVectorParams
-	}
-	if len(b) < 1 {
-		return nil, fmt.Errorf("sparse: empty vector payload")
-	}
-	format, body := b[0], b[1:]
-	switch format {
-	case vecFormatBitmap:
-		return decodeVectorBitmap(dst, body, maxParams)
-	case vecFormatIndex:
-		return decodeVectorIndex(dst, body, maxParams)
-	default:
-		return nil, fmt.Errorf("sparse: unknown vector payload format 0x%02x", format)
-	}
+	return codec.DecodeInto(dst, b, maxParams)
 }
 
 // sizeVector returns dst resized to n, reusing its storage when possible.
@@ -195,84 +108,4 @@ func sizeVector(dst []float64, n int) []float64 {
 		return dst[:n]
 	}
 	return make([]float64, n)
-}
-
-func decodeVectorBitmap(dst []float64, b []byte, maxParams int) ([]float64, error) {
-	if len(b) < 8 {
-		return nil, fmt.Errorf("sparse: bitmap vector payload too short (%d bytes)", len(b))
-	}
-	n64 := binary.LittleEndian.Uint64(b[:8])
-	b = b[8:]
-	// Same wire-robustness bound as DecodeBitmapPayload: the bitmap itself
-	// must be present, which caps the claimed length by the input size.
-	if n64 > uint64(len(b))*8 || n64 > uint64(maxParams) {
-		return nil, fmt.Errorf("sparse: bitmap vector length %d exceeds payload or limit", n64)
-	}
-	n := int(n64)
-	nb := (n + 7) / 8
-	bits := b[:nb]
-	vals := b[nb:]
-	out := sizeVector(dst, n)
-	k := 0
-	for i := 0; i < n; i++ {
-		if bits[i/8]&(1<<(i%8)) != 0 {
-			if 4*k+4 > len(vals) {
-				return nil, fmt.Errorf("sparse: bitmap vector payload truncated")
-			}
-			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(vals[4*k:])))
-			k++
-		} else {
-			out[i] = 0
-		}
-	}
-	if len(vals) != 4*k {
-		return nil, fmt.Errorf("sparse: bitmap vector payload has %d value bytes, want %d", len(vals), 4*k)
-	}
-	return out, nil
-}
-
-func decodeVectorIndex(dst []float64, b []byte, maxParams int) ([]float64, error) {
-	if len(b) < 16 {
-		return nil, fmt.Errorf("sparse: index vector payload too short (%d bytes)", len(b))
-	}
-	total64 := binary.LittleEndian.Uint64(b[:8])
-	count64 := binary.LittleEndian.Uint64(b[8:16])
-	b = b[16:]
-	if total64 > uint64(maxParams) {
-		return nil, fmt.Errorf("sparse: index vector length %d exceeds limit %d", total64, maxParams)
-	}
-	// Each entry needs one varint byte plus four value bytes, bounding the
-	// claimed count by the remaining payload before any allocation.
-	if count64 > uint64(len(b))/5 || count64 > total64 {
-		return nil, fmt.Errorf("sparse: index vector payload truncated")
-	}
-	total, count := int(total64), int(count64)
-	out := sizeVector(dst, total)
-	clear(out)
-	valBase := len(b) - 4*count
-	pos := 0
-	prev := 0
-	for k := 0; k < count; k++ {
-		d, w := binary.Uvarint(b[pos:valBase])
-		if w <= 0 {
-			return nil, fmt.Errorf("sparse: bad varint at entry %d", k)
-		}
-		pos += w
-		// The first delta is the absolute index (encoder starts prev at 0),
-		// later deltas are gaps. Checking d before the int conversion keeps
-		// a hostile varint from overflowing the position arithmetic.
-		if d > uint64(total) {
-			return nil, fmt.Errorf("sparse: index delta overflow at entry %d", k)
-		}
-		idx := prev + int(d)
-		if idx >= total {
-			return nil, fmt.Errorf("sparse: index out of range at entry %d", k)
-		}
-		out[idx] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[valBase+4*k:])))
-		prev = idx
-	}
-	if pos != valBase {
-		return nil, fmt.Errorf("sparse: index vector payload has %d stray varint bytes", valBase-pos)
-	}
-	return out, nil
 }
